@@ -1,0 +1,158 @@
+// Extension bench: the three nesting models of §I on the same Bank
+// workload —
+//   flat    each parent inlines all account operations (a child abort is a
+//           parent abort; everything re-fetches),
+//   closed  the paper's model (children retry alone; RTS can park parents),
+//   open    each leg commits immediately with a registered compensation
+//           (maximum concurrency, paid for in compensation machinery).
+//
+// Two open variants: a stateless parent (pure fire-and-forget legs, the
+// parent itself cannot abort) and `open+audit`, whose parent also writes a
+// per-node audit account — giving it commit-time state, real parent aborts,
+// and therefore compensation traffic. Conservation must hold for all four;
+// for the open variants that exercises the compensation path. Expected
+// shape: stateless open far ahead (no isolation across legs); open+audit
+// shows the compensation churn eroding that gain; closed trades child-commit
+// validation round-trips for cheaper recovery vs flat.
+//
+// Usage: ext_nesting_models [--nodes=12] ...
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "workloads/bank.hpp"
+
+using namespace hyflow;
+using namespace hyflow::bench;
+
+namespace {
+
+enum class Style { kFlat, kClosed, kOpen, kOpenAudit };
+
+// Bank with the transfer's nesting style swapped out.
+class StyledBank : public workloads::BankWorkload {
+ public:
+  StyledBank(const workloads::WorkloadConfig& cfg, Style style)
+      : BankWorkload(cfg), style_(style) {}
+
+  void setup(runtime::Cluster& cluster) override {
+    BankWorkload::setup(cluster);
+    // One extra zero-balance "audit marker" account per node: the open-style
+    // parent writes its own node's marker (a no-op deposit), giving the
+    // parent real commit-time state — contended only by that node's workers —
+    // so parent aborts and the compensation path occur at a realistic rate.
+    markers_.clear();
+    for (NodeId n = 0; n < cluster.size(); ++n) {
+      const ObjectId oid = workloads::make_oid(workloads::IdSpace::kBankAccount,
+                                               100000 + n);
+      cluster.create_object(std::make_unique<workloads::Account>(oid, 0), n);
+      markers_.push_back(oid);
+    }
+  }
+
+  Op next_op(NodeId node, Xoshiro256& rng) override {
+    Op op = BankWorkload::next_op(node, rng);
+    if (op.is_read || style_ == Style::kClosed) return op;  // reuse closed shape
+
+    const auto& all = accounts();
+    const int legs_n = 1 + static_cast<int>(rng.below(
+                               std::max(1, config().max_nested / 2)));
+    struct Leg {
+      ObjectId from, to;
+      std::int64_t amount;
+    };
+    std::vector<Leg> legs;
+    for (int i = 0; i < legs_n; ++i) {
+      legs.push_back(Leg{all[rng.below(all.size())], all[rng.below(all.size())],
+                         static_cast<std::int64_t>(rng.range(1, 25))});
+    }
+    if (style_ == Style::kFlat) {
+      op.body = [this, legs](tfa::Txn& tx) {
+        for (const Leg& leg : legs) {  // inlined: no inner transactions
+          tx.write<workloads::Account>(leg.from).withdraw(leg.amount);
+          tx.write<workloads::Account>(leg.to).deposit(leg.amount);
+          do_local_work();
+        }
+      };
+    } else {  // open nesting with compensations
+      // kOpenAudit: the parent additionally writes its node's audit marker,
+      // so it carries commit-time state of its own and can abort — running
+      // the compensations. kOpen: a stateless parent that never aborts.
+      const bool audit = style_ == Style::kOpenAudit;
+      const ObjectId marker = markers_[node];
+      op.body = [this, legs, marker, audit](tfa::Txn& tx) {
+        if (audit) tx.write<workloads::Account>(marker).deposit(0);
+        for (const Leg& leg : legs) {
+          tx.open_nested(
+              [this, leg](tfa::Txn& child) {
+                child.write<workloads::Account>(leg.from).withdraw(leg.amount);
+                child.write<workloads::Account>(leg.to).deposit(leg.amount);
+                do_local_work();
+              },
+              [leg](tfa::Txn& comp) {
+                comp.write<workloads::Account>(leg.from).deposit(leg.amount);
+                comp.write<workloads::Account>(leg.to).withdraw(leg.amount);
+              });
+        }
+      };
+    }
+    return op;
+  }
+
+ private:
+  Style style_;
+  std::vector<ObjectId> markers_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = Config::from_args(argc, argv);
+  auto opt = HarnessOptions::from_config(cfg);
+  const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 12));
+
+  print_header("Extension: flat vs closed vs open nesting (Bank, RTS)", opt);
+  std::printf("# nodes=%u read-ratio=%.2f\n\n", nodes, opt.read_ratio_high);
+  std::printf("%-8s %10s %12s %12s %14s %10s\n", "style", "txn/s", "aborts/c",
+              "nested-cmts", "compensations", "verified");
+
+  const Style styles[] = {Style::kFlat, Style::kClosed, Style::kOpen, Style::kOpenAudit};
+  const char* names[] = {"flat", "closed", "open", "open+audit"};
+  for (int s = 0; s < 4; ++s) {
+    workloads::WorkloadConfig wcfg;
+    wcfg.read_ratio = opt.read_ratio_high;
+    wcfg.objects_per_node = opt.objects_per_node;
+    wcfg.max_nested = opt.max_nested;
+    wcfg.local_work = opt.local_work;
+    StyledBank bank(wcfg, styles[s]);
+
+    runtime::ExperimentConfig ecfg;
+    ecfg.cluster.nodes = nodes;
+    ecfg.cluster.workers_per_node = opt.workers;
+    ecfg.cluster.scheduler.kind = "rts";
+    ecfg.cluster.scheduler.cl_threshold = tuned_threshold("bank");
+    ecfg.cluster.topology.min_delay = opt.min_delay;
+    ecfg.cluster.topology.max_delay = opt.max_delay;
+    ecfg.warmup = opt.warmup;
+    ecfg.measure = opt.measure;
+    const auto r = runtime::run_experiment(bank, ecfg);
+
+    // Open-nested children run as independent root transactions and are
+    // counted in commits_root; subtract them (and their compensations) so
+    // the throughput column compares *parent* transactions across styles.
+    const std::uint64_t parents = r.delta.commits_root -
+                                  std::min(r.delta.commits_root,
+                                           r.delta.open_nested_commits +
+                                               r.delta.compensations_run);
+    const double window_secs =
+        static_cast<double>(opt.measure) * 1e-9;
+    const double parent_throughput = static_cast<double>(parents) / window_secs;
+    const double commits = std::max<double>(1.0, static_cast<double>(parents));
+    std::printf("%-8s %10.1f %12.2f %12llu %14llu %10s\n", names[s], parent_throughput,
+                static_cast<double>(r.delta.aborts_total()) / commits,
+                static_cast<unsigned long long>(r.delta.nested_commits),
+                static_cast<unsigned long long>(r.delta.compensations_run),
+                r.verified ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  return 0;
+}

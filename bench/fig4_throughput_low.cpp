@@ -1,0 +1,11 @@
+// Figure 4 reproduction: transactional throughput at LOW contention (90%
+// read transactions), 10-80 nodes, RTS vs TFA vs TFA+Backoff, one panel per
+// benchmark (paper panels a-f: Vacation, Bank, Linked List, RB-Tree, BST,
+// DHT). Paper shape: RTS highest everywhere; Vacation/Bank improvements are
+// the least pronounced (long transactions); all series grow with nodes.
+#include "bench/fig_throughput.hpp"
+
+int main(int argc, char** argv) {
+  return hyflow::bench::run_throughput_figure(
+      argc, argv, "Figure 4: throughput vs nodes, low contention (90% reads)", true);
+}

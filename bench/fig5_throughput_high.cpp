@@ -1,0 +1,11 @@
+// Figure 5 reproduction: transactional throughput at HIGH contention (10%
+// read transactions), 10-80 nodes, RTS vs TFA vs TFA+Backoff, one panel per
+// benchmark. Paper shape: absolute throughput below Figure 4's, but RTS's
+// margin over the baselines widens; LL/RB/BST/DHT outperform Bank/Vacation
+// (shorter local execution).
+#include "bench/fig_throughput.hpp"
+
+int main(int argc, char** argv) {
+  return hyflow::bench::run_throughput_figure(
+      argc, argv, "Figure 5: throughput vs nodes, high contention (10% reads)", false);
+}

@@ -1,0 +1,49 @@
+// Figure 6 reproduction: summary of RTS's throughput speedup over TFA and
+// TFA+Backoff, per benchmark, at low and high contention.
+//
+// Paper: bars between ~1.2x and ~1.9x; overall "RTS improves throughput ...
+// by as much as 1.53x (low) ~ 1.88x (high)". The shape to reproduce: every
+// bar above 1.0 at high contention, Vacation/Bank the least pronounced, and
+// high-contention speedups above low-contention ones.
+//
+// Usage: fig6_speedup_summary [--nodes=24] ...
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hyflow;
+using namespace hyflow::bench;
+
+int main(int argc, char** argv) {
+  const auto cfg = Config::from_args(argc, argv);
+  auto opt = HarnessOptions::from_config(cfg);
+  opt.bench_name = "fig6_speedup_summary";
+  const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 24));
+
+  print_header("Figure 6: RTS throughput speedup over TFA and TFA+Backoff", opt);
+  std::printf("# nodes=%u; values are RTS throughput / competitor throughput\n\n", nodes);
+  std::printf("%-12s | %10s %14s | %10s %14s\n", "benchmark", "TFA(low)", "Backoff(low)",
+              "TFA(high)", "Backoff(high)");
+  std::printf("-------------+---------------------------+--------------------------\n");
+
+  double best_low = 0, best_high = 0;
+  for (const auto& workload : workloads::workload_names()) {
+    double speedups[4];
+    int i = 0;
+    for (const double rr : {opt.read_ratio_low, opt.read_ratio_high}) {
+      const double rts = run_point(opt, workload, "rts", nodes, rr).throughput;
+      for (const char* baseline : {"tfa", "backoff"}) {
+        const double other = run_point(opt, workload, baseline, nodes, rr).throughput;
+        speedups[i++] = other > 0 ? rts / other : 0.0;
+      }
+    }
+    std::printf("%-12s | %9.2fx %13.2fx | %9.2fx %13.2fx\n", workload.c_str(), speedups[0],
+                speedups[1], speedups[2], speedups[3]);
+    std::fflush(stdout);
+    best_low = std::max({best_low, speedups[0], speedups[1]});
+    best_high = std::max({best_high, speedups[2], speedups[3]});
+  }
+  std::printf("\n# max speedup: %.2fx (low) / %.2fx (high); paper: 1.53x / 1.88x\n", best_low,
+              best_high);
+  return 0;
+}

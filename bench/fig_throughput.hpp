@@ -1,0 +1,44 @@
+// Shared driver for Figures 4 and 5: transactional throughput vs node count
+// for RTS / TFA / TFA+Backoff, one series-block per benchmark.
+#pragma once
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace hyflow::bench {
+
+inline int run_throughput_figure(int argc, char** argv, const char* title, bool low_contention) {
+  const auto cfg = Config::from_args(argc, argv);
+  auto opt = HarnessOptions::from_config(cfg);
+  opt.bench_name = low_contention ? "fig4_throughput_low" : "fig5_throughput_high";
+  const double read_ratio = low_contention ? opt.read_ratio_low : opt.read_ratio_high;
+
+  print_header(title, opt);
+  std::printf("# read ratio=%.2f; series: throughput in committed txn/s\n\n", read_ratio);
+
+  for (const auto& workload : workloads::workload_names()) {
+    std::printf("## %s (%s contention)\n", workload.c_str(), low_contention ? "low" : "high");
+    std::printf("%-6s %12s %12s %12s\n", "nodes", "RTS", "TFA", "TFA+Backoff");
+    for (const auto nodes : opt.node_sweep) {
+      double thr[3];
+      int i = 0;
+      for (const char* scheduler : {"rts", "tfa", "backoff"}) {
+        const auto result = run_point(opt, workload, scheduler,
+                                      static_cast<std::uint32_t>(nodes), read_ratio);
+        thr[i++] = result.throughput;
+        if (!result.verified)
+          std::printf("!! %s/%s/n=%lld failed verification\n", workload.c_str(), scheduler,
+                      static_cast<long long>(nodes));
+      }
+      std::printf("%-6lld %12.1f %12.1f %12.1f\n", static_cast<long long>(nodes), thr[0],
+                  thr[1], thr[2]);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("# expectation: RTS tops each column; throughput grows with nodes\n");
+  return 0;
+}
+
+}  // namespace hyflow::bench

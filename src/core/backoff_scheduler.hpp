@@ -1,0 +1,31 @@
+// TFA+Backoff baseline (§IV-C): "a transaction aborts with a backoff time
+// if a conflict occurs". The loser is never enqueued — it aborts, stalls
+// for its expected remaining execution time, then restarts and re-fetches
+// everything. The paper finds this *worse* than plain TFA for nested
+// transactions because the re-fetches still happen, just later.
+#pragma once
+
+#include <algorithm>
+
+#include "core/scheduler.hpp"
+
+namespace hyflow::core {
+
+class BackoffScheduler : public Scheduler {
+ public:
+  explicit BackoffScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "tfa+backoff"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override {
+    const SimDuration backoff =
+        std::clamp<SimDuration>(ctx.request.ets.expected_commit - ctx.request.ets.request,
+                                cfg_.min_backoff, cfg_.max_backoff);
+    return {ConflictAction::kAbortWithStall, backoff};
+  }
+
+ private:
+  SchedulerConfig cfg_;
+};
+
+}  // namespace hyflow::core

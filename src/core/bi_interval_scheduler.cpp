@@ -1,0 +1,73 @@
+#include "core/bi_interval_scheduler.hpp"
+
+#include <algorithm>
+
+namespace hyflow::core {
+
+BiIntervalScheduler::BiIntervalScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
+
+ConflictDecision BiIntervalScheduler::on_conflict(const ConflictContext& ctx) {
+  return table_.with_list(ctx.oid, [&](RequesterList& list) -> ConflictDecision {
+    list.remove_duplicate(ctx.request.txid);
+    // Park everyone up to the cap (reuses cl_threshold as the queue bound);
+    // no execution-time or CL admission — that is RTS's contribution.
+    if (list.size() >= cfg_.cl_threshold) return {ConflictAction::kAbort, 0};
+    const SimDuration backoff = ctx.validator_remaining + list.bk() + cfg_.handoff_slack;
+    const SimDuration expected_rest =
+        std::clamp<SimDuration>(ctx.request.ets.expected_commit - ctx.request.ets.request,
+                                cfg_.min_backoff, cfg_.max_backoff);
+    list.add_bk(expected_rest);
+    list.add(list.contention() + 1,
+             net::QueuedRequester{ctx.requester_node, ctx.request.txid, ctx.request_msg_id,
+                                  ctx.request.mode, 1});
+    return {ConflictAction::kEnqueue, backoff};
+  });
+}
+
+std::vector<net::QueuedRequester> BiIntervalScheduler::on_object_available(ObjectId oid) {
+  // Reading interval first: release *every* queued reader together,
+  // regardless of position; writers follow one at a time.
+  return table_.with_list(oid, [&](RequesterList& list) {
+    std::vector<net::QueuedRequester> group;
+    auto all = list.drain();
+    std::vector<net::QueuedRequester> writers;
+    for (auto& r : all) {
+      if (r.mode == net::AccessMode::kRead) {
+        group.push_back(std::move(r));
+      } else {
+        writers.push_back(std::move(r));
+      }
+    }
+    if (group.empty() && !writers.empty()) {
+      group.push_back(std::move(writers.front()));
+      writers.erase(writers.begin());
+    }
+    for (auto& w : writers) list.add(list.contention() + 1, std::move(w));
+    return group;
+  });
+}
+
+std::vector<net::QueuedRequester> BiIntervalScheduler::extract_queue(ObjectId oid) {
+  return table_.drain(oid);
+}
+
+void BiIntervalScheduler::absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) {
+  if (queue.empty()) return;
+  table_.with_list(oid, [&](RequesterList& list) {
+    for (auto& r : queue) {
+      list.remove_duplicate(r.txid);
+      list.add(list.contention() + 1, std::move(r));
+    }
+    return 0;
+  });
+}
+
+void BiIntervalScheduler::remove_requester(ObjectId oid, TxnId txid) {
+  table_.remove(oid, txid);
+}
+
+std::size_t BiIntervalScheduler::queue_depth(ObjectId oid) const { return table_.depth(oid); }
+
+std::size_t BiIntervalScheduler::total_queued() const { return table_.total_queued(); }
+
+}  // namespace hyflow::core

@@ -1,0 +1,38 @@
+// Bi-interval scheduler — an extension baseline from the authors' prior
+// work (Kim & Ravindran, SSS 2010, the paper's ref [17]; itself extending
+// Attiya & Milani's BIMODAL to dataflow D-STM).
+//
+// Bi-interval groups conflicting requesters into *reading* and *writing*
+// intervals: every queued reader is released together (one object copy
+// broadcast serves the whole read interval), writers are serialised behind
+// them. Unlike RTS it has no execution-time or contention-level heuristics —
+// every conflicting requester is parked, bounded only by a queue cap — so
+// comparing the two isolates the value of RTS's reactive abort/enqueue
+// decision (see bench/ext_bi_interval).
+#pragma once
+
+#include "core/requester_list.hpp"
+#include "core/scheduler.hpp"
+
+namespace hyflow::core {
+
+class BiIntervalScheduler : public Scheduler {
+ public:
+  explicit BiIntervalScheduler(const SchedulerConfig& cfg);
+
+  const char* name() const override { return "bi-interval"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override;
+  std::vector<net::QueuedRequester> on_object_available(ObjectId oid) override;
+  std::vector<net::QueuedRequester> extract_queue(ObjectId oid) override;
+  void absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) override;
+  void remove_requester(ObjectId oid, TxnId txid) override;
+  std::size_t queue_depth(ObjectId oid) const override;
+  std::size_t total_queued() const override;
+
+ private:
+  SchedulerConfig cfg_;
+  SchedulingTable table_;
+};
+
+}  // namespace hyflow::core

@@ -1,0 +1,39 @@
+#include "core/contention.hpp"
+
+#include <algorithm>
+
+namespace hyflow::core {
+
+void ContentionTracker::record_request(ObjectId oid, TxnId txid, SimTime now) {
+  std::scoped_lock lk(mu_);
+  auto& samples = recent_[oid];
+  prune(samples, now);
+  const auto it = std::find_if(samples.begin(), samples.end(),
+                               [&](const Sample& s) { return s.txid == txid; });
+  if (it != samples.end()) {
+    it->at = now;  // refresh, still one distinct transaction
+  } else {
+    samples.push_back(Sample{txid, now});
+    // Bound per-object memory; the CL heuristic saturates far below this.
+    if (samples.size() > 256) samples.pop_front();
+  }
+}
+
+std::uint32_t ContentionTracker::local_cl(ObjectId oid, SimTime now) const {
+  std::scoped_lock lk(mu_);
+  auto it = recent_.find(oid);
+  if (it == recent_.end()) return 0;
+  prune(it->second, now);
+  return static_cast<std::uint32_t>(it->second.size());
+}
+
+void ContentionTracker::forget(ObjectId oid) {
+  std::scoped_lock lk(mu_);
+  recent_.erase(oid);
+}
+
+void ContentionTracker::prune(std::deque<Sample>& samples, SimTime now) const {
+  while (!samples.empty() && samples.front().at + window_ < now) samples.pop_front();
+}
+
+}  // namespace hyflow::core

@@ -1,0 +1,88 @@
+// Algorithm 1 of the paper: the per-object scheduling structures.
+//
+//   Requester       -> net::QueuedRequester (address, txid, plus the routing
+//                      id of the parked request and its access mode)
+//   Requester_List  -> RequesterList below: FIFO of requesters, a running
+//                      Contention_Level (addRequester records the total
+//                      computed at enqueue time, so getContention() yields
+//                      the cumulative CL of everything queued), and the
+//                      object's accumulated backoff `bk` (Alg. 3's static
+//                      per-object backoff counter)
+//   scheduling_List -> SchedulingTable: ObjectId -> RequesterList
+//
+// Hand-off order (§III-B): one leading writer, or *all* leading readers
+// simultaneously ("increasing the concurrency of the read transactions").
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/object_id.hpp"
+#include "net/payloads.hpp"
+#include "util/time.hpp"
+
+namespace hyflow::core {
+
+class RequesterList {
+ public:
+  // Alg. 1 addRequester(Contention_Level, Requester).
+  void add(std::uint32_t contention, net::QueuedRequester requester);
+
+  // Alg. 1 removeDuplicate(Address): a transaction whose backoff expired
+  // re-requests as new; drop its stale entry. We match on txid rather than
+  // node address — several transactions from one node may be queued, and
+  // the retried transaction keeps its TxnId's node/sequence identity only
+  // if it is genuinely the same requester.
+  bool remove_duplicate(TxnId txid);
+
+  // Alg. 1 getContention(): cumulative contention of the queued requesters.
+  std::uint32_t contention() const { return contention_level_; }
+
+  // Head group: the first writer alone, or every leading reader.
+  std::vector<net::QueuedRequester> pop_head_group();
+
+  std::vector<net::QueuedRequester> drain();
+
+  // The object's accumulated backoff bk (reset when the queue empties —
+  // otherwise bk grows without bound and Alg. 3's `bk < r-s` test would
+  // eventually reject every transaction).
+  SimDuration bk() const { return bk_; }
+  void add_bk(SimDuration d) { bk_ += d; }
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  void maybe_reset();
+
+  std::deque<net::QueuedRequester> queue_;
+  std::uint32_t contention_level_ = 0;
+  SimDuration bk_ = 0;
+};
+
+// scheduling_List: hash table from object to its requester list. One mutex
+// guards the table and the lists; all operations are short.
+class SchedulingTable {
+ public:
+  // Runs `fn(list)` with the object's list (created on demand) under lock.
+  template <typename Fn>
+  auto with_list(ObjectId oid, Fn&& fn) {
+    std::scoped_lock lk(mu_);
+    return fn(lists_[oid]);
+  }
+
+  // As above but does not create the list; returns default for absent.
+  std::vector<net::QueuedRequester> pop_head_group(ObjectId oid);
+  std::vector<net::QueuedRequester> drain(ObjectId oid);
+  bool remove(ObjectId oid, TxnId txid);
+  std::size_t depth(ObjectId oid) const;
+  std::size_t total_queued() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, RequesterList> lists_;
+};
+
+}  // namespace hyflow::core

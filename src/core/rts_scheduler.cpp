@@ -1,0 +1,87 @@
+#include "core/rts_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace hyflow::core {
+
+RtsScheduler::RtsScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {
+  if (cfg.adaptive_threshold) {
+    controller_ = std::make_unique<ThresholdController>(cfg.cl_threshold);
+  }
+}
+
+std::uint32_t RtsScheduler::current_threshold() const {
+  return controller_ ? controller_->threshold() : cfg_.cl_threshold;
+}
+
+ConflictDecision RtsScheduler::on_conflict(const ConflictContext& ctx) {
+  return table_.with_list(ctx.oid, [&](RequesterList& list) -> ConflictDecision {
+    // Alg. 3 line 10: a requester whose backoff expired re-requests as a
+    // new transaction attempt; purge its stale queue entry first.
+    list.remove_duplicate(ctx.request.txid);
+
+    // The wait ahead of a new arrival: the validator's remaining validation
+    // time (|t7 - t4| in Fig. 3) plus the expected execution of everything
+    // already queued (`bk`, Alg. 3's per-object backoff accumulator).
+    const SimDuration wait_ahead = ctx.validator_remaining + list.bk();
+
+    // Alg. 3 line 11 / Fig. 3: enqueue only if the transaction has been
+    // running longer than it would wait — a short transaction loses less
+    // by restarting than by queueing.
+    const SimDuration exec_so_far = ctx.request.ets.request - ctx.request.ets.start;
+    if (wait_ahead >= exec_so_far) return {ConflictAction::kAbort, 0};
+
+    // Alg. 3 lines 12-13: contention = queue CL + requester's myCL.
+    const std::uint32_t contention = list.contention() + ctx.request.requester_cl;
+    if (contention >= current_threshold()) return {ConflictAction::kAbort, 0};
+
+    // Alg. 3 lines 14-16: the assigned backoff covers the wait ahead (plus
+    // slack for the hand-off hops); the requester's own expected remaining
+    // execution is added to `bk` so the *next* arrival waits behind it
+    // (Fig. 3: T5's backoff = |t7 - t5| + expected execution of T4).
+    const SimDuration backoff = wait_ahead + cfg_.handoff_slack;
+    const SimDuration expected_rest =
+        std::clamp<SimDuration>(ctx.request.ets.expected_commit - ctx.request.ets.request,
+                                cfg_.min_backoff, cfg_.max_backoff);
+    list.add_bk(expected_rest);
+    list.add(contention,
+             net::QueuedRequester{ctx.requester_node, ctx.request.txid, ctx.request_msg_id,
+                                  ctx.request.mode, contention});
+    HYFLOW_DEBUG("rts: enqueue txn ", ctx.request.txid.value, " on object ", ctx.oid.value,
+                 " backoff_ns=", backoff, " contention=", contention);
+    return {ConflictAction::kEnqueue, backoff};
+  });
+}
+
+std::vector<net::QueuedRequester> RtsScheduler::on_object_available(ObjectId oid) {
+  return table_.pop_head_group(oid);
+}
+
+std::vector<net::QueuedRequester> RtsScheduler::extract_queue(ObjectId oid) {
+  return table_.drain(oid);
+}
+
+void RtsScheduler::absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) {
+  if (queue.empty()) return;
+  table_.with_list(oid, [&](RequesterList& list) {
+    for (auto& r : queue) {
+      list.remove_duplicate(r.txid);
+      list.add(std::max(list.contention(), r.contention), std::move(r));
+    }
+    return 0;
+  });
+}
+
+void RtsScheduler::remove_requester(ObjectId oid, TxnId txid) { table_.remove(oid, txid); }
+
+void RtsScheduler::note_commit(SimTime now) {
+  if (controller_) controller_->note_commit(now);
+}
+
+std::size_t RtsScheduler::queue_depth(ObjectId oid) const { return table_.depth(oid); }
+
+std::size_t RtsScheduler::total_queued() const { return table_.total_queued(); }
+
+}  // namespace hyflow::core

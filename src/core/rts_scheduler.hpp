@@ -1,0 +1,55 @@
+// Reactive Transactional Scheduler — the paper's contribution (§III,
+// Algorithms 1-4).
+//
+// A losing parent transaction (one whose request hit an object under
+// validation) is:
+//   * aborted, when its execution time so far is shorter than the object's
+//     accumulated backoff `bk` — queueing would cost more than re-running
+//     ("RTS aborts a parent transaction with a short execution time"), or
+//   * aborted, when the contention level is high — enqueuing under high
+//     contention only lengthens the convoy, or
+//   * enqueued with backoff `bk += (ETS.c - ETS.r)` otherwise — the parked
+//     parent keeps every object it already fetched and the commits of its
+//     closed-nested children, so when the object is handed to it no
+//     re-fetch round-trips are paid.
+//
+// Contention input (Alg. 3): `reqlist.getContention() + Contention_Level`,
+// where Contention_Level is the requester's myCL (the summed local CLs of
+// the objects it holds, piggy-backed on fetch responses) and getContention()
+// is the cumulative CL recorded by previous addRequester calls. The
+// object's own window CL (ctx.local_cl) reaches future requesters through
+// the myCL piggyback, exactly as in the paper's o1/o2/o3 walk-through.
+#pragma once
+
+#include <memory>
+
+#include "core/requester_list.hpp"
+#include "core/scheduler.hpp"
+#include "core/threshold_controller.hpp"
+
+namespace hyflow::core {
+
+class RtsScheduler : public Scheduler {
+ public:
+  explicit RtsScheduler(const SchedulerConfig& cfg);
+
+  const char* name() const override { return "rts"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override;
+  std::vector<net::QueuedRequester> on_object_available(ObjectId oid) override;
+  std::vector<net::QueuedRequester> extract_queue(ObjectId oid) override;
+  void absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) override;
+  void remove_requester(ObjectId oid, TxnId txid) override;
+  void note_commit(SimTime now) override;
+  std::size_t queue_depth(ObjectId oid) const override;
+  std::size_t total_queued() const override;
+
+  std::uint32_t current_threshold() const;
+
+ private:
+  SchedulerConfig cfg_;
+  SchedulingTable table_;
+  std::unique_ptr<ThresholdController> controller_;  // null => static threshold
+};
+
+}  // namespace hyflow::core

@@ -1,0 +1,110 @@
+// Transactional-scheduler interface.
+//
+// The TFA runtime consults the scheduler in exactly one situation: a
+// (root/parent) transaction requested an object that is currently locked,
+// i.e. being validated by another transaction's commit (§II: "Transactions
+// that request an object being validated must abort" — unless the scheduler
+// says otherwise). The scheduler answers with one of:
+//
+//   kAbort          — the requester aborts and retries immediately (TFA)
+//   kAbortWithStall — the requester aborts but stalls `backoff` before the
+//                     retry (the TFA+Backoff baseline)
+//   kEnqueue        — the requester's open blocks for up to `backoff`; the
+//                     scheduler parked it in the object's requester list and
+//                     the object will be pushed to it on unlock/commit (RTS)
+//
+// Queue-management entry points are called by the runtime on unlock, abort,
+// ownership transfer and NotInterested; they are no-ops for queue-less
+// schedulers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/object_id.hpp"
+#include "net/payloads.hpp"
+#include "util/time.hpp"
+
+namespace hyflow::core {
+
+enum class ConflictAction { kAbort, kAbortWithStall, kEnqueue };
+
+struct ConflictDecision {
+  ConflictAction action = ConflictAction::kAbort;
+  SimDuration backoff = 0;
+};
+
+struct ConflictContext {
+  ObjectId oid;
+  NodeId requester_node = kInvalidNode;
+  std::uint64_t request_msg_id = 0;  // routing id for the parked reply
+  net::ObjectRequest request;        // txid, mode, myCL, ETS
+  std::uint32_t local_cl = 0;        // owner-side window CL of oid
+  // Expected time until the transaction currently validating this object
+  // releases it — the paper's |t7 - t4| (Fig. 3), estimated at the owner
+  // from its history of lock-hold durations.
+  SimDuration validator_remaining = 0;
+  SimTime now = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  // Decide the fate of a conflicting requester; on kEnqueue the scheduler
+  // has already parked it.
+  virtual ConflictDecision on_conflict(const ConflictContext& ctx) = 0;
+
+  // Object became available at this node (commit installed a new version,
+  // an abort released the lock, or a served requester declined). Returns
+  // the requesters to serve *now* (one writer or all leading readers).
+  virtual std::vector<net::QueuedRequester> on_object_available(ObjectId oid) {
+    (void)oid;
+    return {};
+  }
+
+  // Ownership is moving away: hand the whole queue to the new owner.
+  virtual std::vector<net::QueuedRequester> extract_queue(ObjectId oid) {
+    (void)oid;
+    return {};
+  }
+
+  // This node became owner and inherited the previous owner's queue.
+  virtual void absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) {
+    (void)oid;
+    (void)queue;
+  }
+
+  // A served requester answered "not interested" (its backoff expired).
+  virtual void remove_requester(ObjectId oid, TxnId txid) {
+    (void)oid;
+    (void)txid;
+  }
+
+  // Commit feedback for adaptive threshold control.
+  virtual void note_commit(SimTime now) { (void)now; }
+
+  virtual std::size_t queue_depth(ObjectId oid) const {
+    (void)oid;
+    return 0;
+  }
+  virtual std::size_t total_queued() const { return 0; }
+};
+
+struct SchedulerConfig {
+  std::string kind = "rts";                 // rts | tfa | backoff
+  std::uint32_t cl_threshold = 3;           // RTS: CL threshold (paper §III-B)
+  bool adaptive_threshold = false;          // RTS: hill-climb the threshold
+  SimDuration min_backoff = sim_us(100);    // clamp for unseeded stats tables
+  SimDuration max_backoff = sim_ms(100);
+  SimDuration contention_window = sim_ms(20);
+  // Extra wait granted on top of the computed queue position: covers the
+  // hand-off hops (commit ack -> queue transfer -> object push).
+  SimDuration handoff_slack = sim_ms(6);
+};
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg);
+
+}  // namespace hyflow::core

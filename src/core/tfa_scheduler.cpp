@@ -1,0 +1,3 @@
+#include "core/tfa_scheduler.hpp"
+
+// All behaviour is inline; this TU anchors the vtable.

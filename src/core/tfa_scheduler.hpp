@@ -1,0 +1,20 @@
+// Plain-TFA baseline: no transactional scheduler. A requester that hits an
+// object under validation aborts and retries immediately, re-fetching every
+// object of the parent and of all its nested transactions (§IV-C "TFA").
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace hyflow::core {
+
+class TfaScheduler : public Scheduler {
+ public:
+  const char* name() const override { return "tfa"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override {
+    (void)ctx;
+    return {ConflictAction::kAbort, 0};
+  }
+};
+
+}  // namespace hyflow::core

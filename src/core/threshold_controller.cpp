@@ -1,0 +1,51 @@
+#include "core/threshold_controller.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hyflow::core {
+
+ThresholdController::ThresholdController(std::uint32_t initial, std::uint32_t min_threshold,
+                                         std::uint32_t max_threshold, SimDuration epoch)
+    : threshold_(std::clamp(initial, min_threshold, max_threshold)),
+      min_threshold_(min_threshold),
+      max_threshold_(max_threshold),
+      epoch_(epoch) {
+  HYFLOW_ASSERT(min_threshold >= 1 && min_threshold <= max_threshold);
+  HYFLOW_ASSERT(epoch > 0);
+}
+
+void ThresholdController::note_commit(SimTime now) {
+  commits_in_epoch_.fetch_add(1, std::memory_order_relaxed);
+  SimTime start = epoch_start_.load(std::memory_order_relaxed);
+  if (start == 0) {
+    epoch_start_.compare_exchange_strong(start, now, std::memory_order_relaxed);
+    return;
+  }
+  if (now - start >= epoch_) rollover(now);
+}
+
+void ThresholdController::rollover(SimTime now) {
+  std::unique_lock lk(rollover_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;  // another thread is rolling this epoch over
+  const SimTime start = epoch_start_.load(std::memory_order_relaxed);
+  if (now - start < epoch_) return;  // lost the race to a finished rollover
+
+  const double secs = static_cast<double>(now - start) * 1e-9;
+  const double rate =
+      static_cast<double>(commits_in_epoch_.exchange(0, std::memory_order_relaxed)) / secs;
+  epoch_start_.store(now, std::memory_order_relaxed);
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+
+  if (last_rate_ >= 0.0 && rate < last_rate_) direction_ = -direction_;
+  last_rate_ = rate;
+
+  const std::uint32_t cur = threshold_.load(std::memory_order_relaxed);
+  const std::int64_t next = static_cast<std::int64_t>(cur) + direction_;
+  threshold_.store(
+      static_cast<std::uint32_t>(std::clamp<std::int64_t>(next, min_threshold_, max_threshold_)),
+      std::memory_order_relaxed);
+}
+
+}  // namespace hyflow::core

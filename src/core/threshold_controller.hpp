@@ -1,0 +1,54 @@
+// Adaptive CL-threshold controller.
+//
+// The paper observes a throughput peak at some CL threshold and states that
+// "the CL's threshold is adaptively determined" from the number of nodes,
+// transactions and shared objects (§III-B), fixing the peak value per
+// experiment. We implement the adaptation as hill climbing on the commit
+// rate: each epoch compares its commit rate against the previous epoch and
+// keeps stepping the threshold in the same direction while throughput
+// improves, reversing otherwise. Benches pin a static threshold for
+// reproducibility; the ablation bench sweeps it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "util/time.hpp"
+
+namespace hyflow::core {
+
+class ThresholdController {
+ public:
+  ThresholdController(std::uint32_t initial, std::uint32_t min_threshold = 1,
+                      std::uint32_t max_threshold = 16,
+                      SimDuration epoch = sim_ms(100));
+
+  std::uint32_t threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+
+  // Called on every root commit; cheap (one atomic add; epoch rollover
+  // takes a short lock).
+  void note_commit(SimTime now);
+
+  std::uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
+
+ private:
+  void rollover(SimTime now);
+
+  std::atomic<std::uint32_t> threshold_;
+  const std::uint32_t min_threshold_;
+  const std::uint32_t max_threshold_;
+  const SimDuration epoch_;
+
+  std::atomic<std::uint64_t> commits_in_epoch_{0};
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<SimTime> epoch_start_{0};
+
+  std::mutex rollover_mu_;
+  double last_rate_ = -1.0;
+  int direction_ = +1;
+};
+
+}  // namespace hyflow::core

@@ -1,0 +1,43 @@
+#include "dsm/coherence.hpp"
+
+#include "dsm/directory.hpp"
+#include "util/log.hpp"
+
+namespace hyflow::dsm {
+
+std::optional<NodeId> OwnerResolver::find_owner(ObjectId oid) {
+  if (store_.owns(oid)) return comm_.self();
+  {
+    std::scoped_lock lk(mu_);
+    auto it = hints_.find(oid);
+    if (it != hints_.end()) return it->second;
+  }
+  const NodeId home = home_node(oid, comm_.cluster_size());
+  auto call = comm_.request(home, net::FindOwnerRequest{oid});
+  auto reply = call.wait();
+  if (!reply) return std::nullopt;  // shutdown
+  const auto& resp = std::get<net::FindOwnerResponse>(reply->payload);
+  if (!resp.known) {
+    HYFLOW_WARN("find_owner: object ", oid.value, " unknown to directory");
+    return std::nullopt;
+  }
+  note_owner(oid, resp.owner);
+  return resp.owner;
+}
+
+void OwnerResolver::invalidate(ObjectId oid) {
+  std::scoped_lock lk(mu_);
+  hints_.erase(oid);
+}
+
+void OwnerResolver::note_owner(ObjectId oid, NodeId owner) {
+  std::scoped_lock lk(mu_);
+  hints_[oid] = owner;
+}
+
+std::size_t OwnerResolver::hint_count() const {
+  std::scoped_lock lk(mu_);
+  return hints_.size();
+}
+
+}  // namespace hyflow::dsm

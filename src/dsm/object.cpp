@@ -1,0 +1,9 @@
+// Out-of-line anchor for AbstractObject's vtable plus small shared helpers.
+#include "dsm/object.hpp"
+
+namespace hyflow {
+
+// Intentionally empty: AbstractObject's virtuals are defined inline; this
+// translation unit pins the type's RTTI/vtable in the library.
+
+}  // namespace hyflow

@@ -1,0 +1,58 @@
+// Fundamental identifiers shared by every layer.
+//
+// ObjectId encodes nothing about placement; the *home* node of an object
+// (the directory shard that tracks its current owner) is `hash(oid) % N`,
+// computed by dsm::Directory. Transactions are identified by a TxnId that is
+// unique across the cluster (node id in the high bits, per-node counter in
+// the low bits) — the scheduler's Requester entries key on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hyflow {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct ObjectId {
+  std::uint64_t value = 0;
+
+  constexpr bool operator==(const ObjectId&) const = default;
+  constexpr auto operator<=>(const ObjectId&) const = default;
+  constexpr bool valid() const { return value != 0; }
+};
+
+constexpr ObjectId kInvalidObject{0};
+
+struct TxnId {
+  std::uint64_t value = 0;
+
+  constexpr bool operator==(const TxnId&) const = default;
+  constexpr auto operator<=>(const TxnId&) const = default;
+  constexpr bool valid() const { return value != 0; }
+
+  static constexpr TxnId make(NodeId node, std::uint64_t seq) {
+    return TxnId{(static_cast<std::uint64_t>(node) << 40) | (seq & 0xffffffffffull)};
+  }
+  constexpr NodeId node() const { return static_cast<NodeId>(value >> 40); }
+  constexpr std::uint64_t seq() const { return value & 0xffffffffffull; }
+};
+
+constexpr TxnId kInvalidTxn{0};
+
+}  // namespace hyflow
+
+template <>
+struct std::hash<hyflow::ObjectId> {
+  std::size_t operator()(const hyflow::ObjectId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<hyflow::TxnId> {
+  std::size_t operator()(const hyflow::TxnId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

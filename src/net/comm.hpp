@@ -1,0 +1,72 @@
+// Node-local communication facade used by the protocol layers (dsm
+// coherence, TFA runtime). runtime::Node implements it by combining the
+// Network, the node's PendingCalls registry, and its TFA logical clock
+// (stamped on every outgoing envelope for Lamport synchronisation).
+//
+// RequestCall is the RAII handle for an outstanding request: wait() blocks
+// for the next reply, wait_for() abandons on timeout (late replies become
+// orphans, triggering the NotInterested protocol), and the destructor
+// deregisters whatever is left.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/message.hpp"
+#include "net/rpc.hpp"
+
+namespace hyflow::net {
+
+class RequestCall {
+ public:
+  RequestCall(PendingCalls* registry, PendingCalls::CallPtr call, std::uint64_t msg_id)
+      : registry_(registry), call_(std::move(call)), msg_id_(msg_id) {}
+
+  RequestCall(const RequestCall&) = delete;
+  RequestCall& operator=(const RequestCall&) = delete;
+  RequestCall(RequestCall&& other) noexcept
+      : registry_(other.registry_), call_(std::move(other.call_)), msg_id_(other.msg_id_) {
+    other.registry_ = nullptr;
+  }
+
+  ~RequestCall() {
+    if (registry_) registry_->done(msg_id_);
+  }
+
+  std::uint64_t id() const { return msg_id_; }
+
+  std::optional<Message> wait() { return registry_->wait(call_, msg_id_, std::nullopt); }
+
+  std::optional<Message> wait_for(SimDuration timeout) {
+    return registry_->wait(call_, msg_id_, timeout);
+  }
+
+ private:
+  PendingCalls* registry_;
+  PendingCalls::CallPtr call_;
+  std::uint64_t msg_id_;
+};
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual NodeId self() const = 0;
+  virtual std::uint32_t cluster_size() const = 0;
+
+  // Sends a request and returns the handle for its reply/replies.
+  virtual RequestCall request(NodeId to, Payload payload) = 0;
+
+  // One-way message (no reply expected).
+  virtual void post(NodeId to, Payload payload) = 0;
+
+  // Replies to a received request.
+  virtual void reply(const Message& request, Payload payload) = 0;
+
+  // Replies to a request that was *not* received by this node: the queued
+  // object hand-off, where the committer answers an ObjectRequest that was
+  // parked at the previous owner.
+  virtual void reply_routed(NodeId to, std::uint64_t reply_to, Payload payload) = 0;
+};
+
+}  // namespace hyflow::net

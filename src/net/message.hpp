@@ -1,0 +1,25 @@
+// Message envelope for the simulated cluster.
+//
+// Every inter-node interaction in the system — directory lookups, object
+// fetches (Alg. 2/3/4 of the paper), commit-time locking/validation/
+// ownership registration, queued-object hand-off — is a Message. The
+// envelope carries the sender's logical clock so that node clocks stay
+// Lamport-synchronised (TFA's forwarding rule builds on this).
+#pragma once
+
+#include <cstdint>
+
+#include "net/payloads.hpp"
+
+namespace hyflow::net {
+
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::uint64_t msg_id = 0;    // cluster-unique, assigned by Network::send
+  std::uint64_t reply_to = 0;  // msg_id of the request this answers; 0 = not a reply
+  std::uint64_t sender_clock = 0;  // sender's TFA logical clock at send time
+  Payload payload;
+};
+
+}  // namespace hyflow::net

@@ -1,0 +1,111 @@
+// In-process message-passing network with latency simulation.
+//
+// send() stamps the message with a cluster-unique id and schedules delivery
+// `topology.delay(from,to)` in the future. A dispatcher thread pops due
+// messages from a timer queue and hands them to a small delivery pool, which
+// invokes the destination node's handler. Handlers are required to be
+// non-blocking (they may send further messages); anything that must wait —
+// a transaction blocked on an object fetch — waits on the *requester* side
+// through net::PendingCalls, never inside a handler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "util/blocking_queue.hpp"
+
+namespace hyflow::net {
+
+struct TransportStats {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> object_payloads{0};
+
+  void record(const Message& m) {
+    messages.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(payload_wire_size(m.payload), std::memory_order_relaxed);
+    if (std::holds_alternative<ObjectResponse>(m.payload) &&
+        std::get<ObjectResponse>(m.payload).object) {
+      object_payloads.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  // `delivery_threads` sizes the pool that runs node handlers.
+  explicit Network(Topology topology, int delivery_threads = 2);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Must be called for every node before start().
+  void register_handler(NodeId node, Handler handler);
+
+  void start();
+  void stop();  // idempotent; drains nothing — in-flight messages are dropped
+
+  // Assigns msg_id (returned) and schedules delivery. Returns 0 when the
+  // network is stopped.
+  std::uint64_t send(Message m);
+
+  // Reserve a message id up front so a pending call can be registered
+  // before the message is handed to the network (avoids reply races).
+  std::uint64_t allocate_msg_id() {
+    return next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const Topology& topology() const { return topology_; }
+  const TransportStats& stats() const { return stats_; }
+
+  // Test hook: block until no message is queued or in flight.
+  void wait_idle() const;
+
+ private:
+  struct Timed {
+    SimTime deliver_at;
+    std::uint64_t seq;  // tie-break keeps per-pair FIFO for equal deadlines
+    Message msg;
+    bool operator>(const Timed& other) const {
+      return deliver_at != other.deliver_at ? deliver_at > other.deliver_at
+                                            : seq > other.seq;
+    }
+  };
+
+  void dispatcher_loop(std::stop_token st);
+  void delivery_loop(std::stop_token st, int lane);
+
+  Topology topology_;
+  std::vector<Handler> handlers_;
+  TransportStats stats_;
+
+  mutable std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> timer_queue_;
+
+  // One lane per delivery thread; a node's messages always ride the same
+  // lane (to % lanes), so handler invocation per node is serialised and
+  // per-pair FIFO survives the pool.
+  std::vector<std::unique_ptr<BlockingQueue<Message>>> lanes_;
+  std::atomic<std::uint64_t> next_msg_id_{1};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<bool> running_{false};
+
+  int delivery_thread_count_;
+  std::vector<std::jthread> threads_;  // dispatcher + delivery pool
+};
+
+}  // namespace hyflow::net

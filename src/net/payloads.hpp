@@ -1,0 +1,151 @@
+// Wire protocol of the D-STM: one struct per message kind, combined in a
+// std::variant. Object state crosses the wire as an immutable snapshot
+// (shared_ptr<const AbstractObject>) — the in-process stand-in for a
+// serialised object graph.
+//
+// Protocol map (paper reference):
+//   FindOwner*        — the CC protocol's "locate the object" step
+//   ObjectRequest     — Alg. 2 Open_Object -> Alg. 3 Retrieve_Request
+//   ObjectResponse    — Alg. 3/4 response (object | backoff | wrong owner)
+//   NotInterested     — Alg. 4 "send a message to the object owner" when the
+//                       requester's backoff already expired
+//   Lock/Validate/Commit/AbortUnlock — TFA commit: lock write set, validate
+//                       read set, register ownership, release
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dsm/object.hpp"
+#include "dsm/object_id.hpp"
+#include "dsm/version.hpp"
+#include "util/time.hpp"
+
+namespace hyflow::net {
+
+enum class AccessMode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+// The paper's ETS: start, request and expected-commit timestamps of the
+// requesting transaction (§III-B), carried on every object request.
+struct Ets {
+  SimTime start = 0;
+  SimTime request = 0;
+  SimTime expected_commit = 0;
+};
+
+// ---- directory (home node tracks current owner) ----
+
+struct FindOwnerRequest {
+  ObjectId oid;
+};
+
+struct FindOwnerResponse {
+  ObjectId oid;
+  NodeId owner = kInvalidNode;
+  bool known = false;
+};
+
+struct RegisterOwnerRequest {
+  ObjectId oid;
+  NodeId new_owner = kInvalidNode;
+  std::uint64_t version_clock = 0;
+};
+
+struct RegisterOwnerResponse {
+  ObjectId oid;
+  bool ok = false;
+};
+
+// ---- object fetch (scheduler hook lives on this path) ----
+
+struct ObjectRequest {
+  ObjectId oid;
+  TxnId txid;
+  AccessMode mode = AccessMode::kRead;
+  std::uint32_t requester_cl = 0;  // the paper's myCL
+  Ets ets;
+};
+
+struct ObjectResponse {
+  ObjectId oid;
+  TxnId txid;                  // requester's transaction (echoed for routing)
+  ObjectSnapshot object;       // null => not granted (aborted or enqueued)
+  Version version;
+  SimDuration backoff = 0;     // scheduler-assigned backoff (meaning depends on `enqueued`)
+  std::uint32_t owner_cl = 0;  // local contention level of oid at the owner
+  bool enqueued = false;       // true: parked, the object will be pushed later
+  bool wrong_owner = false;    // stale directory entry: re-resolve and retry
+};
+
+struct NotInterested {
+  ObjectId oid;
+  TxnId txid;
+};
+
+// ---- TFA commit protocol ----
+
+struct LockRequest {
+  ObjectId oid;
+  TxnId txid;
+  std::uint64_t expected_clock = 0;  // version the transaction read
+};
+
+struct LockResponse {
+  ObjectId oid;
+  bool granted = false;
+  bool wrong_owner = false;
+};
+
+struct ValidateRequest {
+  ObjectId oid;
+  std::uint64_t expected_clock = 0;
+};
+
+struct ValidateResponse {
+  ObjectId oid;
+  bool valid = false;
+  bool wrong_owner = false;
+  std::uint64_t current_clock = 0;
+};
+
+// A requester parked in an object's scheduling list (Alg. 1 `Requester`,
+// plus the routing information needed to answer its original request).
+struct QueuedRequester {
+  NodeId address = kInvalidNode;
+  TxnId txid;
+  std::uint64_t reply_msg_id = 0;  // msg_id of the parked ObjectRequest
+  AccessMode mode = AccessMode::kRead;
+  std::uint32_t contention = 0;    // CL recorded when enqueued
+};
+
+struct CommitRequest {
+  ObjectId oid;
+  TxnId txid;
+  Version new_version;
+  NodeId new_owner = kInvalidNode;
+};
+
+// The old owner acknowledges the commit and hands over the scheduling list
+// so the new owner can serve parked requesters with the fresh copy (Alg. 4).
+struct CommitResponse {
+  ObjectId oid;
+  std::vector<QueuedRequester> queue;
+};
+
+struct AbortUnlock {  // one-way: release a lock taken by a doomed commit
+  ObjectId oid;
+  TxnId txid;
+};
+
+using Payload =
+    std::variant<FindOwnerRequest, FindOwnerResponse, RegisterOwnerRequest,
+                 RegisterOwnerResponse, ObjectRequest, ObjectResponse, NotInterested,
+                 LockRequest, LockResponse, ValidateRequest, ValidateResponse,
+                 CommitRequest, CommitResponse, AbortUnlock>;
+
+const char* payload_name(const Payload& p);
+std::size_t payload_wire_size(const Payload& p);
+
+}  // namespace hyflow::net

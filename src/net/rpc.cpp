@@ -1,0 +1,89 @@
+#include "net/rpc.hpp"
+
+#include "util/assert.hpp"
+
+namespace hyflow::net {
+
+PendingCalls::CallPtr PendingCalls::open(std::uint64_t msg_id) {
+  auto call = std::make_shared<CallState>();
+  std::scoped_lock lk(mu_);
+  if (closed_) {
+    call->closed = true;
+    return call;
+  }
+  const bool inserted = calls_.emplace(msg_id, call).second;
+  HYFLOW_ASSERT_MSG(inserted, "duplicate pending call id");
+  return call;
+}
+
+bool PendingCalls::deliver(Message reply) {
+  CallPtr call;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = calls_.find(reply.reply_to);
+    if (it == calls_.end()) return false;  // orphan
+    call = it->second;                     // registration stays: multi-reply
+  }
+  {
+    std::scoped_lock lk(call->mu);
+    call->replies.push_back(std::move(reply));
+  }
+  call->cv.notify_all();
+  return true;
+}
+
+std::optional<Message> PendingCalls::wait(const CallPtr& call, std::uint64_t msg_id,
+                                          std::optional<SimDuration> timeout) {
+  std::unique_lock lk(call->mu);
+  const auto ready = [&] { return !call->replies.empty() || call->closed; };
+  if (timeout && !call->cv.wait_for(lk, to_chrono(*timeout), ready)) {
+    // Timed out: abandon. A deliver() may be between "found the entry" and
+    // "queued the reply", so after deregistering re-check under call->mu.
+    lk.unlock();
+    {
+      std::scoped_lock map_lk(mu_);
+      calls_.erase(msg_id);
+    }
+    lk.lock();
+    if (call->replies.empty()) return std::nullopt;  // truly abandoned
+  } else if (!timeout) {
+    call->cv.wait(lk, ready);
+  }
+  if (call->replies.empty()) return std::nullopt;  // closed
+  Message out = std::move(call->replies.front());
+  call->replies.pop_front();
+  return out;
+}
+
+void PendingCalls::done(std::uint64_t msg_id) {
+  std::scoped_lock lk(mu_);
+  calls_.erase(msg_id);
+}
+
+void PendingCalls::close_all() {
+  std::unordered_map<std::uint64_t, CallPtr> snapshot;
+  {
+    std::scoped_lock lk(mu_);
+    closed_ = true;
+    snapshot.swap(calls_);
+  }
+  for (auto& [id, call] : snapshot) {
+    {
+      std::scoped_lock lk(call->mu);
+      call->closed = true;
+    }
+    call->cv.notify_all();
+  }
+}
+
+void PendingCalls::reopen() {
+  std::scoped_lock lk(mu_);
+  closed_ = false;
+}
+
+std::size_t PendingCalls::open_count() const {
+  std::scoped_lock lk(mu_);
+  return calls_.size();
+}
+
+}  // namespace hyflow::net

@@ -1,0 +1,75 @@
+// Request/response matching on top of the raw network.
+//
+// A worker thread that sends a request opens a pending call keyed by the
+// request's msg_id and blocks on it; the node's message handler routes any
+// message with `reply_to == msg_id` to that call.
+//
+// One request may legitimately receive *two* replies: Retrieve_Request
+// (Alg. 3) answers immediately ("enqueued, backoff=B"), and the eventual
+// object hand-off (Alg. 4) arrives later — possibly from a different node
+// (the committer that became the new owner). A call therefore holds a queue
+// of replies and stays registered until the caller calls done(), abandons it
+// by timing out, or the cluster shuts down.
+//
+// A reply that finds no registered call is an *orphan*; for a granted
+// object this triggers the paper's "not interested → forward to the next
+// enqueued transaction" protocol, owned by the node handler.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "net/message.hpp"
+#include "util/time.hpp"
+
+namespace hyflow::net {
+
+class PendingCalls {
+ public:
+  struct CallState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> replies;
+    bool closed = false;
+  };
+  using CallPtr = std::shared_ptr<CallState>;
+
+  // Registers a pending call for `msg_id`. Reserve the id first (see
+  // Network::allocate_msg_id), open the call, then send — so a fast reply
+  // can never race past the registration.
+  CallPtr open(std::uint64_t msg_id);
+
+  // Routes a reply to its call. Returns false if no call is registered
+  // (abandoned or finished) — the caller owns the orphan protocol.
+  bool deliver(Message reply);
+
+  // Blocks until a reply is queued, the timeout expires, or close_all().
+  // On timeout the call is abandoned: it is deregistered and any future
+  // reply becomes an orphan. If a reply slipped in during the abandon race
+  // it is returned instead.
+  std::optional<Message> wait(const CallPtr& call, std::uint64_t msg_id,
+                              std::optional<SimDuration> timeout);
+
+  // Deregisters a call whose final reply has been consumed.
+  void done(std::uint64_t msg_id);
+
+  void close_all();
+
+  // Re-arms the registry after a close_all() once every blocked caller has
+  // been joined (e.g. between measurement phases on a live cluster).
+  void reopen();
+
+  std::size_t open_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, CallPtr> calls_;
+  bool closed_ = false;
+};
+
+}  // namespace hyflow::net

@@ -1,0 +1,43 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hyflow::net {
+
+Topology::Topology(const TopologyConfig& cfg) : cfg_(cfg) {
+  HYFLOW_ASSERT(cfg.nodes >= 1);
+  HYFLOW_ASSERT(cfg.min_delay >= 0 && cfg.max_delay >= cfg.min_delay);
+  Xoshiro256 rng(cfg.seed);
+  xs_.resize(cfg.nodes);
+  ys_.resize(cfg.nodes);
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    xs_[i] = rng.uniform();
+    ys_[i] = rng.uniform();
+  }
+  // Normalise by the actual diameter so the delay range is fully used even
+  // for small clusters.
+  max_distance_ = 1e-9;
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i)
+    for (std::uint32_t j = i + 1; j < cfg.nodes; ++j)
+      max_distance_ = std::max(max_distance_, distance(i, j));
+}
+
+double Topology::distance(NodeId from, NodeId to) const {
+  HYFLOW_ASSERT(from < cfg_.nodes && to < cfg_.nodes);
+  const double dx = xs_[from] - xs_[to];
+  const double dy = ys_[from] - ys_[to];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+SimDuration Topology::delay(NodeId from, NodeId to) const {
+  if (from == to) return cfg_.local_delay;
+  const double norm = distance(from, to) / max_distance_;
+  return cfg_.min_delay +
+         static_cast<SimDuration>(norm * static_cast<double>(cfg_.max_delay - cfg_.min_delay));
+}
+
+}  // namespace hyflow::net

@@ -1,0 +1,60 @@
+#include "runtime/experiment.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "util/log.hpp"
+#include "workloads/workload.hpp"
+
+namespace hyflow::runtime {
+
+ExperimentResult run_experiment(workloads::Workload& workload, const ExperimentConfig& cfg) {
+  Cluster cluster(cfg.cluster);
+  workload.setup(cluster);
+
+  cluster.start_workers(workload);
+  std::this_thread::sleep_for(to_chrono(cfg.warmup));
+
+  const MetricsSnapshot before = cluster.total_metrics();
+  const std::uint64_t messages_before = cluster.network().stats().messages.load();
+  const SimTime t0 = sim_now();
+  std::this_thread::sleep_for(to_chrono(cfg.measure));
+  const MetricsSnapshot after = cluster.total_metrics();
+  const std::uint64_t messages_after = cluster.network().stats().messages.load();
+  const SimTime t1 = sim_now();
+
+  cluster.stop_workers();
+
+  ExperimentResult result;
+  result.delta = after - before;
+  const double secs = static_cast<double>(t1 - t0) * 1e-9;
+  result.throughput = static_cast<double>(result.delta.commits_root) / secs;
+  result.nested_abort_rate = result.delta.nested_abort_rate();
+  const std::uint64_t attempts = result.delta.commits_root + result.delta.aborts_total();
+  result.abort_ratio = attempts == 0 ? 0.0
+                                     : static_cast<double>(result.delta.aborts_total()) /
+                                           static_cast<double>(attempts);
+  result.messages = messages_after - messages_before;
+  for (NodeId id = 0; id < cluster.size(); ++id)
+    result.queue_residue += cluster.node(id).scheduler().total_queued();
+
+  if (cfg.verify) {
+    result.verified = workload.verify(cluster);
+    if (!result.verified)
+      HYFLOW_ERROR("workload '", workload.name(), "' failed its invariant audit");
+  }
+  cluster.shutdown();
+  return result;
+}
+
+std::string ExperimentResult::summary() const {
+  std::ostringstream os;
+  os << "throughput=" << throughput << " txn/s"
+     << " nested_abort_rate=" << nested_abort_rate << " abort_ratio=" << abort_ratio
+     << " commits=" << delta.commits_root << " aborts=" << delta.aborts_total()
+     << " enqueued=" << delta.enqueued << " handoffs=" << delta.handoffs_received
+     << " messages=" << messages << (verified ? "" : " VERIFY-FAILED");
+  return os.str();
+}
+
+}  // namespace hyflow::runtime

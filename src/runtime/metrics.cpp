@@ -1,0 +1,74 @@
+#include "runtime/metrics.hpp"
+
+namespace hyflow::runtime {
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
+  commits_root += other.commits_root;
+  commits_read_only += other.commits_read_only;
+  commits_write += other.commits_write;
+  for (std::size_t i = 0; i < aborts_root.size(); ++i) aborts_root[i] += other.aborts_root[i];
+  nested_commits += other.nested_commits;
+  nested_aborts_total += other.nested_aborts_total;
+  nested_aborts_parent_cause += other.nested_aborts_parent_cause;
+  nested_aborts_own_cause += other.nested_aborts_own_cause;
+  enqueued += other.enqueued;
+  handoffs_received += other.handoffs_received;
+  handoffs_sent += other.handoffs_sent;
+  backoff_expired += other.backoff_expired;
+  not_interested += other.not_interested;
+  conflicts_seen += other.conflicts_seen;
+  wrong_owner_retries += other.wrong_owner_retries;
+  forwardings += other.forwardings;
+  open_nested_commits += other.open_nested_commits;
+  compensations_run += other.compensations_run;
+  return *this;
+}
+
+MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& other) const {
+  MetricsSnapshot d = *this;
+  d.commits_root -= other.commits_root;
+  d.commits_read_only -= other.commits_read_only;
+  d.commits_write -= other.commits_write;
+  for (std::size_t i = 0; i < aborts_root.size(); ++i) d.aborts_root[i] -= other.aborts_root[i];
+  d.nested_commits -= other.nested_commits;
+  d.nested_aborts_total -= other.nested_aborts_total;
+  d.nested_aborts_parent_cause -= other.nested_aborts_parent_cause;
+  d.nested_aborts_own_cause -= other.nested_aborts_own_cause;
+  d.enqueued -= other.enqueued;
+  d.handoffs_received -= other.handoffs_received;
+  d.handoffs_sent -= other.handoffs_sent;
+  d.backoff_expired -= other.backoff_expired;
+  d.not_interested -= other.not_interested;
+  d.conflicts_seen -= other.conflicts_seen;
+  d.wrong_owner_retries -= other.wrong_owner_retries;
+  d.forwardings -= other.forwardings;
+  d.open_nested_commits -= other.open_nested_commits;
+  d.compensations_run -= other.compensations_run;
+  return d;
+}
+
+MetricsSnapshot NodeMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.commits_root = commits_root_.load(std::memory_order_relaxed);
+  s.commits_read_only = commits_read_only_.load(std::memory_order_relaxed);
+  s.commits_write = commits_write_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.aborts_root.size(); ++i)
+    s.aborts_root[i] = aborts_root_[i].load(std::memory_order_relaxed);
+  s.nested_commits = nested_commits_.load(std::memory_order_relaxed);
+  s.nested_aborts_total = nested_aborts_total_.load(std::memory_order_relaxed);
+  s.nested_aborts_parent_cause = nested_aborts_parent_cause_.load(std::memory_order_relaxed);
+  s.nested_aborts_own_cause = nested_aborts_own_cause_.load(std::memory_order_relaxed);
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.handoffs_received = handoffs_received_.load(std::memory_order_relaxed);
+  s.handoffs_sent = handoffs_sent_.load(std::memory_order_relaxed);
+  s.backoff_expired = backoff_expired_.load(std::memory_order_relaxed);
+  s.not_interested = not_interested_.load(std::memory_order_relaxed);
+  s.conflicts_seen = conflicts_seen_.load(std::memory_order_relaxed);
+  s.wrong_owner_retries = wrong_owner_retries_.load(std::memory_order_relaxed);
+  s.forwardings = forwardings_.load(std::memory_order_relaxed);
+  s.open_nested_commits = open_nested_commits_.load(std::memory_order_relaxed);
+  s.compensations_run = compensations_run_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hyflow::runtime

@@ -1,0 +1,64 @@
+#include "runtime/node.hpp"
+
+namespace hyflow::runtime {
+
+Node::Node(NodeId id, net::Network& network, const NodeConfig& cfg)
+    : id_(id),
+      network_(network),
+      stats_(cfg.tfa.default_expected_duration),
+      contention_(cfg.scheduler.contention_window),
+      scheduler_(core::make_scheduler(cfg.scheduler)),
+      resolver_(*this, store_) {
+  runtime_ = std::make_unique<tfa::TfaRuntime>(cfg.tfa, *this, store_, directory_, resolver_,
+                                               *scheduler_, contention_, stats_, clock_,
+                                               metrics_);
+}
+
+net::Message Node::envelope(NodeId to, net::Payload payload) const {
+  net::Message m;
+  m.from = id_;
+  m.to = to;
+  m.sender_clock = clock_.read();
+  m.payload = std::move(payload);
+  return m;
+}
+
+net::RequestCall Node::request(NodeId to, net::Payload payload) {
+  const std::uint64_t id = network_.allocate_msg_id();
+  auto call = pending_.open(id);
+  net::Message m = envelope(to, std::move(payload));
+  m.msg_id = id;
+  network_.send(std::move(m));
+  return net::RequestCall(&pending_, std::move(call), id);
+}
+
+void Node::post(NodeId to, net::Payload payload) {
+  network_.send(envelope(to, std::move(payload)));
+}
+
+void Node::reply(const net::Message& request, net::Payload payload) {
+  net::Message m = envelope(request.from, std::move(payload));
+  m.reply_to = request.msg_id;
+  network_.send(std::move(m));
+}
+
+void Node::reply_routed(NodeId to, std::uint64_t reply_to, net::Payload payload) {
+  net::Message m = envelope(to, std::move(payload));
+  m.reply_to = reply_to;
+  network_.send(std::move(m));
+}
+
+void Node::handle_message(net::Message msg) {
+  clock_.advance_to(msg.sender_clock);  // Lamport receive rule
+  if (msg.reply_to != 0) {
+    if (!pending_.deliver(msg)) runtime_->handle_orphan_reply(msg);
+    return;
+  }
+  runtime_->handle_request(msg);
+}
+
+void Node::close_pending() { pending_.close_all(); }
+
+void Node::reopen_pending() { pending_.reopen(); }
+
+}  // namespace hyflow::runtime

@@ -1,0 +1,61 @@
+#include "runtime/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hyflow::runtime {
+
+ClusterReport collect_report(Cluster& cluster) {
+  ClusterReport report;
+  for (NodeId id = 0; id < cluster.size(); ++id) {
+    Node& node = cluster.node(id);
+    NodeReport nr;
+    nr.node = id;
+    nr.metrics = node.metrics().snapshot();
+    nr.owned_objects = node.store().size();
+    nr.queued_requesters = node.scheduler().total_queued();
+    nr.clock = node.clock().read();
+    report.totals += nr.metrics;
+    report.total_objects += nr.owned_objects;
+    report.nodes.push_back(std::move(nr));
+  }
+  const auto& stats = cluster.network().stats();
+  report.messages = stats.messages.load();
+  report.bytes = stats.bytes.load();
+  report.object_payloads = stats.object_payloads.load();
+  return report;
+}
+
+std::string ClusterReport::to_string() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-5s %9s %9s %8s %8s %8s %8s %10s\n", "node",
+                "commits", "aborts", "nested", "enq", "handoff", "objects", "clock");
+  os << line;
+  for (const NodeReport& n : nodes) {
+    std::snprintf(line, sizeof(line), "%-5u %9llu %9llu %8llu %8llu %8llu %8zu %10llu\n",
+                  n.node, static_cast<unsigned long long>(n.metrics.commits_root),
+                  static_cast<unsigned long long>(n.metrics.aborts_total()),
+                  static_cast<unsigned long long>(n.metrics.nested_commits),
+                  static_cast<unsigned long long>(n.metrics.enqueued),
+                  static_cast<unsigned long long>(n.metrics.handoffs_received),
+                  n.owned_objects, static_cast<unsigned long long>(n.clock));
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total commits=%llu aborts=%llu nested=%llu (abort-rate %.1f%%) "
+                "objects=%zu\n",
+                static_cast<unsigned long long>(totals.commits_root),
+                static_cast<unsigned long long>(totals.aborts_total()),
+                static_cast<unsigned long long>(totals.nested_commits),
+                totals.nested_abort_rate() * 100.0, total_objects);
+  os << line;
+  std::snprintf(line, sizeof(line), "network messages=%llu bytes=%llu object-payloads=%llu\n",
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(object_payloads));
+  os << line;
+  return os.str();
+}
+
+}  // namespace hyflow::runtime

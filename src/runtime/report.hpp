@@ -1,0 +1,36 @@
+// Cluster inspection report: a structured, printable snapshot of a live or
+// quiesced cluster — per-node commit/abort/enqueue counters, store sizes,
+// scheduler queue depths, logical clocks, and transport totals. Used by the
+// CLI driver and handy when debugging protocol behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace hyflow::runtime {
+
+struct NodeReport {
+  NodeId node = kInvalidNode;
+  MetricsSnapshot metrics;
+  std::size_t owned_objects = 0;
+  std::size_t queued_requesters = 0;
+  std::uint64_t clock = 0;
+};
+
+struct ClusterReport {
+  std::vector<NodeReport> nodes;
+  MetricsSnapshot totals;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t object_payloads = 0;
+  std::size_t total_objects = 0;
+
+  // Multi-line human-readable table.
+  std::string to_string() const;
+};
+
+ClusterReport collect_report(Cluster& cluster);
+
+}  // namespace hyflow::runtime

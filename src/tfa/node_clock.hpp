@@ -1,0 +1,42 @@
+// Per-node TFA logical clock.
+//
+// TFA (Saad & Ravindran) replaces a global clock with one Lamport-style
+// counter per node: every outgoing message carries the sender's clock,
+// receivers advance to it, a transaction starts at its node's current
+// clock, and a write commit pushes the clock past both the node's value and
+// the transaction's (possibly forwarded) start — so each committed version
+// gets a clock strictly greater than anything the committer observed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hyflow::tfa {
+
+class NodeClock {
+ public:
+  std::uint64_t read() const { return value_.load(std::memory_order_acquire); }
+
+  // Lamport receive rule: clock = max(clock, observed).
+  void advance_to(std::uint64_t observed) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < observed &&
+           !value_.compare_exchange_weak(cur, observed, std::memory_order_acq_rel)) {
+    }
+  }
+
+  // Commit rule: clock = max(clock, floor) + 1; returns the new value,
+  // which becomes the committed version's clock.
+  std::uint64_t increment_past(std::uint64_t floor) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t next = (cur > floor ? cur : floor) + 1;
+      if (value_.compare_exchange_weak(cur, next, std::memory_order_acq_rel)) return next;
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace hyflow::tfa

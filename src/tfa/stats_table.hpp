@@ -1,0 +1,57 @@
+// Transaction stats table (§III-B).
+//
+// "To compute a backoff time, we use a transaction stats table that stores
+//  the average historical validation time of a transaction. Each table
+//  entry holds a bloom filter representation of the most current successful
+//  commit times of write transactions. Whenever a transaction starts, an
+//  expected commit time is picked up from the table."
+//
+// Entries are keyed by *transaction profile* (an id the workload assigns to
+// each transaction shape, e.g. bank-transfer vs bank-balance). An entry
+// keeps an EWMA of committed execution durations — the source of the
+// expected-commit timestamp in every ETS — plus a Bloom filter of recent
+// commit-duration buckets, aged out when it saturates.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/bloom_filter.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace hyflow::tfa {
+
+class StatsTable {
+ public:
+  // `default_duration` seeds expectations before any commit of a profile
+  // has been observed; clusters pass a few average round-trip times.
+  explicit StatsTable(SimDuration default_duration = sim_ms(2),
+                      SimDuration bucket = sim_us(100));
+
+  SimDuration expected_duration(std::uint32_t profile) const;
+  SimTime expected_commit(std::uint32_t profile, SimTime start) const {
+    return start + expected_duration(profile);
+  }
+
+  void record_commit(std::uint32_t profile, SimDuration duration);
+
+  // Bloom query: was a commit duration in this bucket observed recently?
+  bool recently_observed(std::uint32_t profile, SimDuration duration) const;
+
+  std::size_t profile_count() const;
+
+ private:
+  struct Entry {
+    Ewma ewma{0.2};
+    BloomFilter recent{1 << 10, 5};
+  };
+
+  SimDuration default_duration_;
+  SimDuration bucket_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, Entry> entries_;
+};
+
+}  // namespace hyflow::tfa

@@ -1,0 +1,213 @@
+// Per-node TFA protocol engine — requester side (open / forward / commit)
+// and owner side (the handlers behind every protocol message), plus the
+// user-facing `Txn` handle and the retry loop.
+//
+// Requester side implements Alg. 2 (Open_Object): resolve the owner, send
+// the request with myCL and ETS, and interpret the response — granted,
+// wrong-owner (re-resolve), scheduler-abort, abort-with-stall (TFA+Backoff)
+// or enqueued (RTS: block up to the backoff waiting for the object to be
+// pushed). Every granted object runs TFA's transactional-forwarding rule:
+// if the responder's clock is ahead of the transaction's start, the whole
+// access-set is early-validated and the start clock forwarded.
+//
+// Owner side implements Alg. 3 (Retrieve_Request: immediate grant when the
+// slot is free, scheduler decision when it is being validated) and the
+// commit protocol whose validation window *creates* those conflicts: lock
+// write set -> validate read set -> register ownership at the home
+// directory -> transfer/install the new copies -> serve parked requesters
+// with the fresh object (Alg. 4).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/contention.hpp"
+#include "core/scheduler.hpp"
+#include "dsm/coherence.hpp"
+#include "dsm/directory.hpp"
+#include "dsm/object_store.hpp"
+#include "net/comm.hpp"
+#include "runtime/metrics.hpp"
+#include "tfa/abort.hpp"
+#include "tfa/node_clock.hpp"
+#include "tfa/stats_table.hpp"
+#include "tfa/transaction.hpp"
+
+namespace hyflow::tfa {
+
+class TfaRuntime;
+
+// User-facing transaction handle: a thin view over one level of the
+// transaction tree. Workloads receive a Txn& and use read/write/nested.
+class Txn {
+ public:
+  Txn(TfaRuntime& rt, Transaction& level) : rt_(rt), level_(level) {}
+
+  template <typename T>
+  const T& read(ObjectId oid) {
+    return object_cast<T>(open(oid, net::AccessMode::kRead).effective());
+  }
+
+  template <typename T>
+  T& write(ObjectId oid) {
+    return object_cast<T>(open(oid, net::AccessMode::kWrite).mutable_copy());
+  }
+
+  // Runs `body` as a closed-nested transaction. The child retries alone on
+  // its own validation failures (bounded); parent-level aborts propagate.
+  //
+  // `body` MUST be idempotent across retries: reset any captured
+  // accumulator at the top of the body (or build locally and publish as the
+  // last statement), because an aborted child attempt's partial writes to
+  // captured locals are NOT rolled back — only transactional object state is.
+  void nested(const std::function<void(Txn&)>& body);
+
+  // Runs `body` as an OPEN-nested transaction (§I/II's third nesting
+  // model): the child commits independently and its effects become globally
+  // visible immediately — they are NOT part of the enclosing transaction.
+  // If the enclosing root later aborts, `compensation` runs (as its own
+  // transaction, newest-first) to undo the child at the abstract level.
+  //
+  // Open-nesting caveats (by design, as in the literature): the child reads
+  // *committed* global state, not the parent's uncommitted writes; and the
+  // compensation must be semantically inverse, not byte-inverse.
+  void open_nested(const std::function<void(Txn&)>& body,
+                   std::function<void(Txn&)> compensation = nullptr);
+
+  // Workload-requested restart of the whole transaction.
+  [[noreturn]] void retry() { throw AbortException{AbortCause::kUserRetry, 0}; }
+
+  TxnId id() const { return level_.id(); }
+  int depth() const { return level_.depth(); }
+  TfaRuntime& runtime() { return rt_; }
+
+ private:
+  AccessEntry& open(ObjectId oid, net::AccessMode mode);
+
+  TfaRuntime& rt_;
+  Transaction& level_;
+};
+
+struct TfaConfig {
+  int max_owner_retries = 8;    // wrong-owner re-resolutions per operation
+  int max_child_retries = 16;   // child-local retries before parent abort
+  SimDuration default_expected_duration = sim_ms(2);
+  // Seed estimate for how long a commit holds its locks (refined online by
+  // an EWMA of observed hold durations); feeds the scheduler's
+  // validator-remaining input.
+  SimDuration default_validation_hold = sim_ms(4);
+};
+
+// Outcome of one root-transaction execution (including internal retries).
+struct RunResult {
+  bool committed = false;
+  std::uint32_t attempts = 0;
+  SimDuration latency = 0;  // first attempt start -> commit
+};
+
+class TfaRuntime {
+ public:
+  TfaRuntime(const TfaConfig& cfg, net::Comm& comm, dsm::ObjectStore& store,
+             dsm::DirectoryShard& directory, dsm::OwnerResolver& resolver,
+             core::Scheduler& scheduler, core::ContentionTracker& contention,
+             StatsTable& stats, NodeClock& clock, runtime::NodeMetrics& metrics);
+
+  // ---- requester side ----
+
+  // Executes `body` as a root transaction, retrying on aborts until commit
+  // or until `keep_going` returns false. Read-only roots validate at
+  // commit; write roots run the full lock/validate/register protocol.
+  RunResult run(std::uint32_t profile, const std::function<void(Txn&)>& body,
+                const std::function<bool()>& keep_going = [] { return true; });
+
+  // Alg. 2: open an object for `leaf`; throws AbortException.
+  AccessEntry& open_object(Transaction& leaf, ObjectId oid, net::AccessMode mode);
+
+  // Commit protocol for the root; throws AbortException on failure.
+  void commit_root(Transaction& root);
+
+  // ---- owner side (invoked by the node's message handler) ----
+  void handle_request(const net::Message& msg);
+
+  // A granted object arrived for an abandoned call: tell the sender we are
+  // no longer interested so it forwards the object to the next requester.
+  void handle_orphan_reply(const net::Message& msg);
+
+  NodeClock& clock() { return clock_; }
+  StatsTable& stats() { return stats_; }
+  runtime::NodeMetrics& metrics() { return metrics_; }
+  core::Scheduler& scheduler() { return scheduler_; }
+  const TfaConfig& config() const { return cfg_; }
+
+ private:
+  friend class Txn;
+
+  // Requester-side helpers.
+  struct ValidateItem {
+    ObjectId oid;
+    const AccessEntry* entry;
+    int depth;
+    NodeId target;
+    bool done = false;
+    std::optional<net::RequestCall> call;
+  };
+  void forward_if_needed(Transaction& root, std::uint64_t observed_clock);
+  void validate_chain(Transaction& root, bool reads_only);
+  void validate_child(Transaction& child);
+  void run_validation(std::vector<ValidateItem>& items);
+  AccessEntry& admit_granted(Transaction& leaf, ObjectId oid, net::AccessMode mode,
+                             const net::Message& reply);
+  [[noreturn]] void abort_txn(AbortCause cause, int locus, ObjectId oid,
+                              SimDuration stall = 0);
+
+  // Commit-phase helpers.
+  struct WriteTarget {
+    ObjectId oid;
+    AccessEntry* entry;
+    NodeId owner;
+  };
+  std::vector<WriteTarget> resolve_write_set(Transaction& root);
+  void lock_write_set(Transaction& root, std::vector<WriteTarget>& writes);
+  void release_locks(const TxnId txid, const std::vector<WriteTarget>& writes,
+                     std::size_t count);
+  void publish_write_set(Transaction& root, std::vector<WriteTarget>& writes,
+                         std::uint64_t commit_clock);
+
+  // Owner-side handlers.
+  void on_find_owner(const net::Message& msg);
+  void on_register_owner(const net::Message& msg);
+  void on_object_request(const net::Message& msg);
+  void on_lock(const net::Message& msg);
+  void on_validate(const net::Message& msg);
+  void on_commit(const net::Message& msg);
+  void on_abort_unlock(const net::Message& msg);
+  void on_not_interested(const net::Message& msg);
+
+  // Push the current copy of `oid` to the scheduler's head group.
+  void serve_waiters(ObjectId oid);
+  void send_grant(const net::QueuedRequester& to, ObjectId oid, const ObjectSnapshot& obj,
+                  Version version);
+
+  // Lock-hold statistics: how long commits keep objects locked at this
+  // node; the owner-side estimate behind ConflictContext::validator_remaining.
+  void record_hold(SimTime locked_at);
+  SimDuration expected_hold() const;
+  SimDuration validator_remaining(const dsm::SlotView& slot, SimTime now) const;
+
+  TfaConfig cfg_;
+  net::Comm& comm_;
+  dsm::ObjectStore& store_;
+  dsm::DirectoryShard& directory_;
+  dsm::OwnerResolver& resolver_;
+  core::Scheduler& scheduler_;
+  core::ContentionTracker& contention_;
+  StatsTable& stats_;
+  NodeClock& clock_;
+  runtime::NodeMetrics& metrics_;
+  std::atomic<std::uint64_t> txn_seq_{1};
+
+  mutable std::mutex hold_mu_;
+  Ewma hold_ewma_{0.2};
+};
+
+}  // namespace hyflow::tfa

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macro for invariant checks.
+//
+// Unlike <cassert>, HYFLOW_ASSERT stays active in release builds: the
+// protocols in this library (TFA validation, ownership transfer, scheduler
+// queues) rely on invariants whose silent violation would corrupt results
+// rather than crash, so we prefer a loud failure at the violation site.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hyflow {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "HYFLOW_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hyflow
+
+#define HYFLOW_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::hyflow::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HYFLOW_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) ::hyflow::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

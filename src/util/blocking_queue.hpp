@@ -1,0 +1,74 @@
+// Unbounded blocking MPMC queue (mutex + condition variable, CP.42: every
+// wait has a predicate). Used for node inboxes and the network dispatcher.
+//
+// `close()` wakes all waiters; `pop()` then drains remaining items and
+// finally returns nullopt — the standard shutdown protocol for worker loops.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace hyflow {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // Returns false if the queue is closed (item is dropped).
+  bool push(T item) {
+    {
+      std::scoped_lock lk(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking variant.
+  std::optional<T> try_pop() {
+    std::scoped_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hyflow

@@ -1,0 +1,65 @@
+#include "util/bloom_filter.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hyflow {
+
+namespace {
+std::size_t round_up_pow2(std::size_t v) {
+  if (v < 64) return 64;
+  return std::bit_ceil(v);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, int hashes)
+    : words_(round_up_pow2(bits) / 64),
+      mask_(round_up_pow2(bits) - 1),
+      hashes_(hashes) {
+  HYFLOW_ASSERT_MSG(hashes >= 1 && hashes <= 32, "unreasonable hash count");
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  // Double hashing (Kirsch & Mitzenmacher): probe i = h1 + i*h2.
+  const std::uint64_t h1 = mix64(key);
+  const std::uint64_t h2 = mix64(key ^ 0x9e3779b97f4a7c15ull) | 1;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    words_[bit >> 6] |= (1ull << (bit & 63));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const {
+  const std::uint64_t h1 = mix64(key);
+  const std::uint64_t h2 = mix64(key ^ 0x9e3779b97f4a7c15ull) | 1;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    if ((words_[bit >> 6] & (1ull << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(bit_count());
+}
+
+double BloomFilter::estimated_fpr() const {
+  // (1 - e^{-kn/m})^k
+  const double k = hashes_;
+  const double n = static_cast<double>(inserted_);
+  const double m = static_cast<double>(bit_count());
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace hyflow

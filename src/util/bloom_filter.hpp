@@ -1,0 +1,44 @@
+// Counting-free Bloom filter (Bloom, CACM 1970).
+//
+// The paper's transaction stats table stores "a bloom filter representation
+// of the most current successful commit times of write transactions"
+// (§III-B). tfa::StatsTable uses this filter to remember which commit-time
+// buckets were observed recently; it is also unit-tested and benchmarked as
+// a standalone substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hyflow {
+
+class BloomFilter {
+ public:
+  // `bits` is rounded up to a power of two; `hashes` is the number of probe
+  // functions (k). Defaults give ~1% FPR at ~1000 inserted keys.
+  explicit BloomFilter(std::size_t bits = 1 << 14, int hashes = 7);
+
+  void insert(std::uint64_t key);
+  bool maybe_contains(std::uint64_t key) const;
+  void clear();
+
+  // Number of keys inserted since construction/clear.
+  std::size_t inserted() const { return inserted_; }
+  std::size_t bit_count() const { return words_.size() * 64; }
+  int hash_count() const { return hashes_; }
+
+  // Fraction of bits set — a cheap saturation signal used by StatsTable to
+  // decide when to age out the filter.
+  double fill_ratio() const;
+
+  // Theoretical false-positive rate for the current load.
+  double estimated_fpr() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t mask_;  // bit-index mask (bit_count - 1)
+  int hashes_;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace hyflow

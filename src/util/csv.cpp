@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+namespace hyflow {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header) {
+  if (path.empty()) return;
+  std::error_code ec;
+  const bool fresh =
+      !std::filesystem::exists(path, ec) || std::filesystem::file_size(path, ec) == 0;
+  out_.open(path, std::ios::app);
+  if (out_.is_open() && fresh) write_line(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+CsvWriter::Row::~Row() {
+  if (writer_ && writer_->enabled()) writer_->write_line(cells_);
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(double value) {
+  std::ostringstream os;
+  os << value;
+  cells_.push_back(os.str());
+  return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+}  // namespace hyflow

@@ -1,0 +1,57 @@
+// Tiny CSV writer used by the bench harness (`--csv=FILE`) and the CLI
+// driver so sweeps can be post-processed/plotted without scraping stdout.
+//
+// Quoting follows RFC 4180: fields containing comma, quote or newline are
+// quoted, embedded quotes doubled. The writer appends to an existing file
+// (writing the header only when it creates the file), so repeated bench
+// invocations accumulate one tidy table.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hyflow {
+
+class CsvWriter {
+ public:
+  // Opens `path` for append; writes `header` first if the file is new or
+  // empty. An empty path produces a disabled writer (all ops no-op).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool enabled() const { return out_.is_open(); }
+
+  class Row {
+   public:
+    explicit Row(CsvWriter* writer) : writer_(writer) {}
+    Row(const Row&) = delete;
+    Row& operator=(const Row&) = delete;
+    Row(Row&& other) noexcept : writer_(other.writer_), cells_(std::move(other.cells_)) {
+      other.writer_ = nullptr;
+    }
+    ~Row();
+
+    Row& cell(const std::string& value);
+    Row& cell(double value);
+    Row& cell(std::int64_t value);
+    Row& cell(std::uint64_t value);
+
+   private:
+    CsvWriter* writer_;
+    std::vector<std::string> cells_;
+  };
+
+  // Begin a row; it is written (with trailing newline + flush) when the Row
+  // handle is destroyed.
+  Row row() { return Row(this); }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  friend class Row;
+  void write_line(const std::vector<std::string>& cells);
+  std::ofstream out_;
+};
+
+}  // namespace hyflow

@@ -1,0 +1,87 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace hyflow {
+
+namespace {
+// 5 sub-bucket bits => 32 linear sub-buckets per power of two.
+constexpr int kSubBits = 5;
+constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+}  // namespace
+
+Histogram::Histogram(std::uint64_t max_value)
+    : buckets_(bucket_of(max_value) + 2, 0) {}
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (value >> shift) & (kSubCount - 1);
+  return static_cast<std::size_t>(
+      kSubCount + static_cast<std::uint64_t>(msb - kSubBits) * kSubCount + sub);
+}
+
+std::uint64_t Histogram::bucket_mid(std::size_t bucket) {
+  if (bucket < kSubCount) return bucket;
+  const std::size_t rel = bucket - kSubCount;
+  const int exp = static_cast<int>(rel / kSubCount);
+  const std::uint64_t sub = rel % kSubCount;
+  const int shift = exp;  // since msb = exp + kSubBits
+  const std::uint64_t base = (kSubCount + sub) << shift;
+  return base + (1ull << shift) / 2;
+}
+
+void Histogram::add(std::uint64_t value) {
+  std::size_t b = bucket_of(value);
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  HYFLOW_ASSERT(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::uint64_t Histogram::value_at_percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::min(bucket_mid(b), max_);
+  }
+  return max_;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace hyflow

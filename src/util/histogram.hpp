@@ -1,0 +1,39 @@
+// Log-bucketed latency histogram (HdrHistogram-style, much simpler).
+//
+// Thread-compatible, not thread-safe: each worker keeps its own histogram
+// and the harness merges them after quiesce (CP.3 — minimise shared writable
+// data).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hyflow {
+
+class Histogram {
+ public:
+  // Values are expected in [0, max_value]; resolution is ~1/32 relative.
+  explicit Histogram(std::uint64_t max_value = 1ull << 40);
+
+  void add(std::uint64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t value_at_percentile(double p) const;  // p in [0,100]
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_mid(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace hyflow

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace hyflow {
+
+std::atomic<int> Log::level_{static_cast<int>(LogLevel::kWarn)};
+
+void Log::set_level(LogLevel level) {
+  level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() {
+  return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+}
+
+namespace {
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& message) {
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
+  std::scoped_lock lk(log_mutex());
+  std::fprintf(stderr, "[%s t%04zx] %s\n", tag(level), tid, message.c_str());
+}
+
+}  // namespace hyflow

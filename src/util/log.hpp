@@ -1,0 +1,47 @@
+// Minimal leveled, thread-safe logger. Protocol tracing in a D-STM is
+// indispensable when debugging ownership races; benches run at `kWarn`.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace hyflow {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  // Writes one line (with level tag and thread id) under an internal lock.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static std::atomic<int> level_;
+};
+
+namespace log_detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace log_detail
+
+}  // namespace hyflow
+
+#define HYFLOW_LOG(level, ...)                                               \
+  do {                                                                       \
+    if (::hyflow::Log::enabled(level))                                       \
+      ::hyflow::Log::write(level, ::hyflow::log_detail::format_parts(__VA_ARGS__)); \
+  } while (0)
+
+#define HYFLOW_TRACE(...) HYFLOW_LOG(::hyflow::LogLevel::kTrace, __VA_ARGS__)
+#define HYFLOW_DEBUG(...) HYFLOW_LOG(::hyflow::LogLevel::kDebug, __VA_ARGS__)
+#define HYFLOW_INFO(...) HYFLOW_LOG(::hyflow::LogLevel::kInfo, __VA_ARGS__)
+#define HYFLOW_WARN(...) HYFLOW_LOG(::hyflow::LogLevel::kWarn, __VA_ARGS__)
+#define HYFLOW_ERROR(...) HYFLOW_LOG(::hyflow::LogLevel::kError, __VA_ARGS__)

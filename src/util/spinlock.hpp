@@ -1,0 +1,32 @@
+// Tiny test-and-test-and-set spinlock for very short critical sections
+// (object-store slot metadata). Satisfies Lockable so it composes with
+// std::scoped_lock (CP.20 — RAII, never plain lock/unlock).
+#pragma once
+
+#include <atomic>
+
+namespace hyflow {
+
+class SpinLock {
+ public:
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin on the cached value to avoid cache-line ping-pong
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace hyflow

@@ -1,0 +1,103 @@
+#include "workloads/bank.hpp"
+
+#include "runtime/cluster.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace hyflow::workloads {
+
+void BankWorkload::setup(runtime::Cluster& cluster) {
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(cluster.size()) * static_cast<std::uint64_t>(cfg_.objects_per_node);
+  accounts_.clear();
+  accounts_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ObjectId oid = make_oid(IdSpace::kBankAccount, i);
+    cluster.create_object(std::make_unique<Account>(oid, initial_balance_),
+                          static_cast<NodeId>(i % cluster.size()));
+    accounts_.push_back(oid);
+  }
+}
+
+Workload::Op BankWorkload::next_op(NodeId node, Xoshiro256& rng) {
+  (void)node;
+  Op op;
+  if (rng.chance(cfg_.read_ratio)) {
+    // Audit: read a handful of accounts, each inside a closed-nested child.
+    std::vector<ObjectId> sample;
+    const std::size_t k = std::min<std::size_t>(4, accounts_.size());
+    for (std::size_t i = 0; i < k; ++i)
+      sample.push_back(accounts_[rng.below(accounts_.size())]);
+    op.profile = kProfileAudit;
+    op.is_read = true;
+    op.body = [this, sample](tfa::Txn& tx) {
+      std::int64_t total = 0;
+      // Audit pairs of accounts per closed-nested child, so a child's own
+      // read set can go stale independently of the parent's.
+      for (std::size_t i = 0; i < sample.size(); i += 2) {
+        tx.nested([&](tfa::Txn& child) {
+          // Accumulate locally and publish once: the child may retry after
+          // a partial read, and the captured accumulator must not keep
+          // contributions from aborted attempts.
+          std::int64_t sub = child.read<Account>(sample[i]).balance();
+          if (i + 1 < sample.size()) sub += child.read<Account>(sample[i + 1]).balance();
+          do_local_work();
+          total += sub;
+        });
+      }
+      if (total == INT64_MIN) tx.retry();  // keep `total` observable
+    };
+    return op;
+  }
+
+  // Transfer: 1..max_nested/2 legs, each leg = nested withdraw + deposit.
+  struct Leg {
+    ObjectId from;
+    ObjectId to;
+    std::int64_t amount;
+  };
+  const int legs_n = 1 + static_cast<int>(rng.below(
+                             std::max(1, cfg_.max_nested / 2)));
+  std::vector<Leg> legs;
+  for (int i = 0; i < legs_n; ++i) {
+    const ObjectId a = accounts_[rng.below(accounts_.size())];
+    ObjectId b = accounts_[rng.below(accounts_.size())];
+    while (b == a && accounts_.size() > 1) b = accounts_[rng.below(accounts_.size())];
+    legs.push_back(Leg{a, b, rng.range(1, 25)});
+  }
+  op.profile = kProfileTransfer;
+  op.body = [this, legs](tfa::Txn& tx) {
+    // One closed-nested child per leg; the child moves the money between
+    // two accounts atomically and can retry alone if its own reads go
+    // stale, without rolling back earlier committed legs.
+    for (const Leg& leg : legs) {
+      tx.nested([&](tfa::Txn& child) {
+        child.write<Account>(leg.from).withdraw(leg.amount);
+        child.write<Account>(leg.to).deposit(leg.amount);
+        do_local_work();
+      });
+    }
+  };
+  return op;
+}
+
+bool BankWorkload::verify(runtime::Cluster& cluster) {
+  std::int64_t total = 0;
+  for (const ObjectId oid : accounts_) {
+    const ObjectSnapshot snap = cluster.committed_copy(oid);
+    if (!snap) {
+      HYFLOW_ERROR("bank: account ", oid.value, " has no committed copy");
+      return false;
+    }
+    total += object_cast<Account>(*snap).balance();
+  }
+  const std::int64_t expected =
+      initial_balance_ * static_cast<std::int64_t>(accounts_.size());
+  if (total != expected) {
+    HYFLOW_ERROR("bank: conservation violated: total=", total, " expected=", expected);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hyflow::workloads

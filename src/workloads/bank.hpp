@@ -1,0 +1,51 @@
+// Bank — the paper's "monetary application" benchmark.
+//
+// Write transactions transfer money between accounts: the parent wraps one
+// closed-nested withdraw and one closed-nested deposit per leg (several
+// legs per parent, randomised — "the number of nested transactions per
+// transaction are randomly decided", §IV-B). Read transactions audit a
+// sample of accounts. The conservation invariant (total balance constant)
+// is the repository's strongest opacity check.
+#pragma once
+
+#include <vector>
+
+#include "workloads/ids.hpp"
+#include "workloads/workload.hpp"
+
+namespace hyflow::workloads {
+
+class Account : public TxObject<Account> {
+ public:
+  explicit Account(ObjectId id, std::int64_t balance = 0)
+      : TxObject(id), balance_(balance) {}
+
+  std::int64_t balance() const { return balance_; }
+  void deposit(std::int64_t amount) { balance_ += amount; }
+  void withdraw(std::int64_t amount) { balance_ -= amount; }
+
+ private:
+  std::int64_t balance_;
+};
+
+class BankWorkload : public Workload {
+ public:
+  static constexpr std::uint32_t kProfileAudit = 10;
+  static constexpr std::uint32_t kProfileTransfer = 11;
+
+  explicit BankWorkload(const WorkloadConfig& cfg, std::int64_t initial_balance = 1000)
+      : Workload(cfg), initial_balance_(initial_balance) {}
+
+  std::string name() const override { return "bank"; }
+  void setup(runtime::Cluster& cluster) override;
+  Op next_op(NodeId node, Xoshiro256& rng) override;
+  bool verify(runtime::Cluster& cluster) override;
+
+  const std::vector<ObjectId>& accounts() const { return accounts_; }
+
+ private:
+  std::int64_t initial_balance_;
+  std::vector<ObjectId> accounts_;
+};
+
+}  // namespace hyflow::workloads

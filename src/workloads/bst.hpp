@@ -1,0 +1,78 @@
+// Distributed binary search tree (BST microbenchmark).
+//
+// One shared object per key slot (key i <-> slot i, pre-created) plus a
+// root-pointer object. Removal is lazy (a `deleted` mark), so the structure
+// only ever re-links existing objects — standard for STM data-structure
+// benchmarks and faithful to the paper's access pattern: traversals read a
+// root-to-leaf chain of objects, updates write one or two of them.
+#pragma once
+
+#include <vector>
+
+#include "workloads/ids.hpp"
+#include "workloads/workload.hpp"
+
+namespace hyflow::workloads {
+
+class BstNode : public TxObject<BstNode> {
+ public:
+  BstNode(ObjectId id, std::int64_t key) : TxObject(id), key_(key) {}
+
+  std::int64_t key() const { return key_; }
+  ObjectId left() const { return left_; }
+  ObjectId right() const { return right_; }
+  bool deleted() const { return deleted_; }
+
+  void set_left(ObjectId n) { left_ = n; }
+  void set_right(ObjectId n) { right_ = n; }
+  void set_deleted(bool d) { deleted_ = d; }
+  void reset_links() { left_ = right_ = kInvalidObject; deleted_ = false; }
+
+ private:
+  std::int64_t key_;  // immutable slot identity
+  ObjectId left_ = kInvalidObject;
+  ObjectId right_ = kInvalidObject;
+  bool deleted_ = false;
+};
+
+class BstRoot : public TxObject<BstRoot> {
+ public:
+  explicit BstRoot(ObjectId id) : TxObject(id) {}
+  ObjectId root() const { return root_; }
+  void set_root(ObjectId n) { root_ = n; }
+
+ private:
+  ObjectId root_ = kInvalidObject;
+};
+
+class BstWorkload : public Workload {
+ public:
+  static constexpr std::uint32_t kProfileContains = 40;
+  static constexpr std::uint32_t kProfileUpdate = 41;
+  static constexpr std::size_t kUniverseCap = 64;
+
+  explicit BstWorkload(const WorkloadConfig& cfg) : Workload(cfg) {}
+
+  std::string name() const override { return "bst"; }
+  void setup(runtime::Cluster& cluster) override;
+  Op next_op(NodeId node, Xoshiro256& rng) override;
+  bool verify(runtime::Cluster& cluster) override;
+
+  std::size_t universe() const { return slots_.size(); }
+
+  // Transactional set operations; public so applications and oracle tests
+  // can drive the tree directly.
+  bool contains(tfa::Txn& tx, std::int64_t key) const;
+  void insert(tfa::Txn& tx, std::int64_t key) const;
+  void remove(tfa::Txn& tx, std::int64_t key) const;
+
+ private:
+
+  bool verify_subtree(runtime::Cluster& cluster, ObjectId node, std::int64_t lo,
+                      std::int64_t hi, std::size_t& visited) const;
+
+  std::vector<ObjectId> slots_;
+  ObjectId root_obj_;
+};
+
+}  // namespace hyflow::workloads

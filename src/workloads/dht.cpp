@@ -1,0 +1,91 @@
+#include "workloads/dht.hpp"
+
+#include "runtime/cluster.hpp"
+#include "util/log.hpp"
+
+namespace hyflow::workloads {
+
+void DhtWorkload::setup(runtime::Cluster& cluster) {
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(cluster.size()) * static_cast<std::uint64_t>(cfg_.objects_per_node);
+  buckets_.clear();
+  buckets_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ObjectId oid = make_oid(IdSpace::kDhtBucket, i);
+    cluster.create_object(std::make_unique<Bucket>(oid, i),
+                          static_cast<NodeId>(i % cluster.size()));
+    buckets_.push_back(oid);
+  }
+  key_space_ = count * 16;
+}
+
+Workload::Op DhtWorkload::next_op(NodeId node, Xoshiro256& rng) {
+  (void)node;
+  const int ops_n = 1 + static_cast<int>(rng.below(std::max(1, cfg_.max_nested)));
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < ops_n; ++i) keys.push_back(rng.below(key_space_));
+
+  Op op;
+  if (rng.chance(cfg_.read_ratio)) {
+    op.profile = kProfileGet;
+    op.is_read = true;
+    op.body = [this, keys](tfa::Txn& tx) {
+      std::uint64_t sink = 0;
+      // Two lookups per closed-nested child so a child owns a multi-object
+      // read set of its own.
+      for (std::size_t i = 0; i < keys.size(); i += 2) {
+        tx.nested([&](tfa::Txn& child) {
+          // Local accumulator, published once: keeps the child body
+          // idempotent across child retries.
+          std::uint64_t sub = 0;
+          for (std::size_t j = i; j < std::min(i + 2, keys.size()); ++j) {
+            const ObjectId bucket = buckets_[bucket_index_of(keys[j])];
+            if (const auto* v = child.read<Bucket>(bucket).get(keys[j])) sub ^= *v;
+          }
+          do_local_work();
+          sink ^= sub;
+        });
+      }
+      if (sink == UINT64_MAX) tx.retry();  // keep `sink` observable
+    };
+    return op;
+  }
+
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < ops_n; ++i) values.push_back(rng());
+  op.profile = kProfilePut;
+  op.body = [this, keys, values](tfa::Txn& tx) {
+    for (std::size_t i = 0; i < keys.size(); i += 2) {
+      tx.nested([&](tfa::Txn& child) {
+        for (std::size_t j = i; j < std::min(i + 2, keys.size()); ++j) {
+          const ObjectId bucket = buckets_[bucket_index_of(keys[j])];
+          child.write<Bucket>(bucket).put(keys[j], values[j]);
+        }
+        do_local_work();
+      });
+    }
+  };
+  return op;
+}
+
+bool DhtWorkload::verify(runtime::Cluster& cluster) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const ObjectSnapshot snap = cluster.committed_copy(buckets_[i]);
+    if (!snap) {
+      HYFLOW_ERROR("dht: bucket ", i, " has no committed copy");
+      return false;
+    }
+    const auto& bucket = object_cast<Bucket>(*snap);
+    if (bucket.index() != i) return false;
+    for (const auto& [key, value] : bucket.entries()) {
+      if (bucket_index_of(key) != i) {
+        HYFLOW_ERROR("dht: key ", key, " landed in bucket ", i, " expected ",
+                     bucket_index_of(key));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hyflow::workloads

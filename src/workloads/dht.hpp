@@ -1,0 +1,60 @@
+// DHT microbenchmark: a distributed hash table whose buckets are the shared
+// objects. Keys hash statically to buckets, so transactions touch few
+// objects and execute quickly — the paper's shortest-transaction benchmark
+// (throughput is highest here, Figs. 4f/5f).
+//
+// A put parent wraps 1..max_nested nested single-bucket puts; gets mirror
+// that with reads.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "workloads/ids.hpp"
+#include "workloads/workload.hpp"
+
+namespace hyflow::workloads {
+
+class Bucket : public TxObject<Bucket> {
+ public:
+  explicit Bucket(ObjectId id, std::uint64_t index) : TxObject(id), index_(index) {}
+
+  std::uint64_t index() const { return index_; }
+
+  void put(std::uint64_t key, std::uint64_t value) { entries_[key] = value; }
+  bool erase(std::uint64_t key) { return entries_.erase(key) > 0; }
+  const std::uint64_t* get(std::uint64_t key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::uint64_t, std::uint64_t>& entries() const { return entries_; }
+
+  std::size_t wire_size() const override { return 32 + entries_.size() * 16; }
+
+ private:
+  std::uint64_t index_;
+  std::map<std::uint64_t, std::uint64_t> entries_;
+};
+
+class DhtWorkload : public Workload {
+ public:
+  static constexpr std::uint32_t kProfileGet = 20;
+  static constexpr std::uint32_t kProfilePut = 21;
+
+  explicit DhtWorkload(const WorkloadConfig& cfg) : Workload(cfg) {}
+
+  std::string name() const override { return "dht"; }
+  void setup(runtime::Cluster& cluster) override;
+  Op next_op(NodeId node, Xoshiro256& rng) override;
+  bool verify(runtime::Cluster& cluster) override;
+
+  std::uint64_t bucket_index_of(std::uint64_t key) const {
+    return mix64(key) % buckets_.size();
+  }
+
+ private:
+  std::vector<ObjectId> buckets_;
+  std::uint64_t key_space_ = 0;
+};
+
+}  // namespace hyflow::workloads

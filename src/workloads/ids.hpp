@@ -1,0 +1,26 @@
+// ObjectId allocation shared by the workloads: a namespace byte keeps the
+// id spaces of different workloads/objects disjoint, and +1 keeps ids
+// non-zero (ObjectId{0} is the invalid sentinel).
+#pragma once
+
+#include "dsm/object_id.hpp"
+
+namespace hyflow::workloads {
+
+enum class IdSpace : std::uint8_t {
+  kBankAccount = 1,
+  kDhtBucket = 2,
+  kListNode = 3,
+  kBstNode = 4,
+  kBstRoot = 5,
+  kRbNode = 6,
+  kRbRoot = 7,
+  kVacationResource = 8,
+  kVacationCustomer = 9,
+};
+
+constexpr ObjectId make_oid(IdSpace space, std::uint64_t index) {
+  return ObjectId{(static_cast<std::uint64_t>(space) << 48) | (index + 1)};
+}
+
+}  // namespace hyflow::workloads

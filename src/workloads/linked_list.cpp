@@ -1,0 +1,151 @@
+#include "workloads/linked_list.hpp"
+
+#include "runtime/cluster.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace hyflow::workloads {
+
+void LinkedListWorkload::setup(runtime::Cluster& cluster) {
+  const std::size_t total =
+      static_cast<std::size_t>(cluster.size()) * static_cast<std::size_t>(cfg_.objects_per_node);
+  const std::size_t universe = std::min(kUniverseCap, std::max<std::size_t>(total, 8)) ;
+
+  slots_.clear();
+  slots_.reserve(universe);
+  head_ = make_oid(IdSpace::kListNode, universe);
+
+  // Initially link the even keys: head -> 0 -> 2 -> 4 -> ...
+  auto head = std::make_unique<ListNode>(head_, -1);
+  std::vector<std::unique_ptr<ListNode>> nodes;
+  for (std::size_t i = 0; i < universe; ++i) {
+    const ObjectId oid = make_oid(IdSpace::kListNode, i);
+    slots_.push_back(oid);
+    nodes.push_back(std::make_unique<ListNode>(oid, static_cast<std::int64_t>(i)));
+  }
+  ListNode* prev = head.get();
+  for (std::size_t i = 0; i < universe; i += 2) {
+    prev->set_next(slots_[i]);
+    prev = nodes[i].get();
+  }
+
+  cluster.create_object(std::move(head), 0);
+  for (std::size_t i = 0; i < universe; ++i)
+    cluster.create_object(std::move(nodes[i]), static_cast<NodeId>(i % cluster.size()));
+}
+
+bool LinkedListWorkload::contains(tfa::Txn& tx, std::int64_t key) const {
+  ObjectId cur = tx.read<ListNode>(head_).next();
+  while (cur.valid()) {
+    const ListNode& node = tx.read<ListNode>(cur);
+    if (node.key() == key) return true;
+    if (node.key() > key) return false;
+    cur = node.next();
+  }
+  return false;
+}
+
+void LinkedListWorkload::add(tfa::Txn& tx, std::int64_t key) const {
+  ObjectId prev = head_;
+  ObjectId cur = tx.read<ListNode>(head_).next();
+  while (cur.valid()) {
+    const ListNode& node = tx.read<ListNode>(cur);
+    if (node.key() == key) return;  // already present
+    if (node.key() > key) break;
+    prev = cur;
+    cur = node.next();
+  }
+  const ObjectId slot = slots_[static_cast<std::size_t>(key)];
+  tx.write<ListNode>(slot).set_next(cur);
+  tx.write<ListNode>(prev).set_next(slot);
+}
+
+void LinkedListWorkload::remove(tfa::Txn& tx, std::int64_t key) const {
+  ObjectId prev = head_;
+  ObjectId cur = tx.read<ListNode>(head_).next();
+  while (cur.valid()) {
+    const ListNode& node = tx.read<ListNode>(cur);
+    if (node.key() > key) return;  // absent
+    if (node.key() == key) {
+      tx.write<ListNode>(prev).set_next(node.next());
+      return;
+    }
+    prev = cur;
+    cur = node.next();
+  }
+}
+
+Workload::Op LinkedListWorkload::next_op(NodeId node, Xoshiro256& rng) {
+  (void)node;
+  const int ops_n = 1 + static_cast<int>(rng.below(std::max(1, cfg_.max_nested)));
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < ops_n; ++i)
+    keys.push_back(static_cast<std::int64_t>(rng.below(slots_.size())));
+
+  Op op;
+  if (rng.chance(cfg_.read_ratio)) {
+    op.profile = kProfileContains;
+    op.is_read = true;
+    op.body = [this, keys](tfa::Txn& tx) {
+      int found = 0;
+      for (const std::int64_t key : keys) {
+        tx.nested([&](tfa::Txn& child) {
+          found += contains(child, key) ? 1 : 0;
+          do_local_work();
+        });
+      }
+      if (found < 0) tx.retry();  // keep `found` observable
+    };
+    return op;
+  }
+
+  std::vector<bool> is_add;
+  for (int i = 0; i < ops_n; ++i) is_add.push_back(rng.chance(0.5));
+  op.profile = kProfileUpdate;
+  op.body = [this, keys, is_add](tfa::Txn& tx) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      tx.nested([&](tfa::Txn& child) {
+        if (is_add[i]) {
+          add(child, keys[i]);
+        } else {
+          remove(child, keys[i]);
+        }
+        do_local_work();
+      });
+    }
+  };
+  return op;
+}
+
+bool LinkedListWorkload::verify(runtime::Cluster& cluster) {
+  const ObjectSnapshot head = cluster.committed_copy(head_);
+  if (!head) return false;
+  std::int64_t last_key = -1;
+  ObjectId cur = object_cast<ListNode>(*head).next();
+  std::size_t hops = 0;
+  while (cur.valid()) {
+    if (++hops > slots_.size() + 1) {
+      HYFLOW_ERROR("linked-list: cycle detected");
+      return false;
+    }
+    const ObjectSnapshot snap = cluster.committed_copy(cur);
+    if (!snap) {
+      HYFLOW_ERROR("linked-list: missing committed copy for node ", cur.value);
+      return false;
+    }
+    const auto& node = object_cast<ListNode>(*snap);
+    if (node.key() <= last_key) {
+      HYFLOW_ERROR("linked-list: order violated at key ", node.key());
+      return false;
+    }
+    if (slots_[static_cast<std::size_t>(node.key())] != cur) {
+      HYFLOW_ERROR("linked-list: slot/key identity violated");
+      return false;
+    }
+    last_key = node.key();
+    cur = node.next();
+  }
+  return true;
+}
+
+}  // namespace hyflow::workloads

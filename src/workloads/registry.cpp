@@ -1,0 +1,30 @@
+#include "workloads/registry.hpp"
+
+#include "util/assert.hpp"
+#include "workloads/bank.hpp"
+#include "workloads/bst.hpp"
+#include "workloads/dht.hpp"
+#include "workloads/linked_list.hpp"
+#include "workloads/rbtree.hpp"
+#include "workloads/vacation.hpp"
+
+namespace hyflow::workloads {
+
+std::unique_ptr<Workload> make_workload(const std::string& name, const WorkloadConfig& cfg) {
+  if (name == "bank") return std::make_unique<BankWorkload>(cfg);
+  if (name == "vacation") return std::make_unique<VacationWorkload>(cfg);
+  if (name == "linked-list" || name == "ll") return std::make_unique<LinkedListWorkload>(cfg);
+  if (name == "bst") return std::make_unique<BstWorkload>(cfg);
+  if (name == "rb-tree" || name == "rbtree") return std::make_unique<RbTreeWorkload>(cfg);
+  if (name == "dht") return std::make_unique<DhtWorkload>(cfg);
+  HYFLOW_ASSERT_MSG(false, "unknown workload name");
+  return nullptr;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {"vacation", "bank",    "linked-list",
+                                                 "rb-tree",  "bst",     "dht"};
+  return names;
+}
+
+}  // namespace hyflow::workloads

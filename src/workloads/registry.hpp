@@ -1,0 +1,18 @@
+// Name -> workload factory, used by the bench harnesses and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace hyflow::workloads {
+
+// Known names: "bank", "vacation", "linked-list", "bst", "rb-tree", "dht".
+std::unique_ptr<Workload> make_workload(const std::string& name, const WorkloadConfig& cfg);
+
+// All six benchmark names, in the paper's Table/Figure order.
+const std::vector<std::string>& workload_names();
+
+}  // namespace hyflow::workloads

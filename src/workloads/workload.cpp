@@ -1,0 +1,11 @@
+#include "workloads/workload.hpp"
+
+#include <thread>
+
+namespace hyflow::workloads {
+
+void Workload::do_local_work() const {
+  if (cfg_.local_work > 0) std::this_thread::sleep_for(to_chrono(cfg_.local_work));
+}
+
+}  // namespace hyflow::workloads

@@ -1,0 +1,75 @@
+// Benchmark-application interface.
+//
+// A workload (1) creates and places its shared objects on the cluster, (2)
+// generates transaction operations for node-local workers — each op is a
+// profile id (feeding the stats table) plus a body run under a root
+// transaction — and (3) audits its own invariants after quiesce.
+//
+// The paper's contention knob (§IV-A): "low contention" = 90% read
+// transactions, "high contention" = 10%; `read_ratio` expresses that. A
+// read transaction contains only reads; a write transaction both reads and
+// writes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tfa/tfa_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace hyflow::runtime {
+class Cluster;
+}
+
+namespace hyflow::workloads {
+
+struct WorkloadConfig {
+  double read_ratio = 0.9;      // fraction of read-only transactions
+  int objects_per_node = 8;     // paper: "five to ten shared objects ... at each node"
+  int max_nested = 4;           // nested transactions per parent (randomised 1..max)
+  // Local execution time per closed-nested child (the paper's gamma_i):
+  // work a parent abort throws away and an RTS enqueue preserves. Vacation
+  // and Bank — the paper's "longer execution time" benchmarks — scale it up.
+  SimDuration local_work = sim_us(200);
+  std::uint64_t seed = 7;
+};
+
+class Workload {
+ public:
+  struct Op {
+    std::uint32_t profile = 0;
+    std::function<void(tfa::Txn&)> body;
+    bool is_read = false;
+  };
+
+  explicit Workload(const WorkloadConfig& cfg) : cfg_(cfg) {}
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Create and place shared objects. Called once, after cluster start and
+  // before any worker runs.
+  virtual void setup(runtime::Cluster& cluster) = 0;
+
+  // Produce the next operation for a worker on `node`. Must be thread-safe
+  // (called concurrently from every worker; all mutable state goes through
+  // the caller's rng or the transaction itself).
+  virtual Op next_op(NodeId node, Xoshiro256& rng) = 0;
+
+  // Post-run integrity audit (cluster quiesced). Returns true when the
+  // workload's invariants hold.
+  virtual bool verify(runtime::Cluster& cluster) = 0;
+
+  const WorkloadConfig& config() const { return cfg_; }
+
+ protected:
+  // Simulated local computation inside a nested child (performed after its
+  // object opens, before the child commits into the parent).
+  void do_local_work() const;
+
+  WorkloadConfig cfg_;
+};
+
+}  // namespace hyflow::workloads

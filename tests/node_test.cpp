@@ -1,0 +1,144 @@
+// Node/Comm-layer tests: envelope construction, request/reply routing, the
+// routed reply used by queue hand-offs, Lamport clock propagation through
+// message envelopes, and orphan-reply handling.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/cluster.hpp"
+
+namespace hyflow::runtime {
+namespace {
+
+class Box : public TxObject<Box> {
+ public:
+  explicit Box(ObjectId id, int v = 0) : TxObject(id), value(v) {}
+  int value;
+};
+
+struct NodePair : ::testing::Test {
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.workers_per_node = 0;
+    cfg.topology.min_delay = sim_us(5);
+    cfg.topology.max_delay = sim_us(60);
+    cluster = std::make_unique<Cluster>(cfg);
+  }
+  void TearDown() override { cluster->shutdown(); }
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST_F(NodePair, RequestReplyRoundTrip) {
+  // Use the directory protocol as a ready-made request/reply pair.
+  cluster->node(1).directory().publish(ObjectId{50}, 2);
+  auto call = cluster->node(0).request(1, net::FindOwnerRequest{ObjectId{50}});
+  const auto reply = call.wait();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->from, 1u);
+  EXPECT_EQ(reply->to, 0u);
+  const auto& resp = std::get<net::FindOwnerResponse>(reply->payload);
+  EXPECT_TRUE(resp.known);
+  EXPECT_EQ(resp.owner, 2u);
+}
+
+TEST_F(NodePair, RequestToUnknownObjectSaysUnknown) {
+  auto call = cluster->node(0).request(1, net::FindOwnerRequest{ObjectId{51}});
+  const auto reply = call.wait();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(std::get<net::FindOwnerResponse>(reply->payload).known);
+}
+
+TEST_F(NodePair, EnvelopeCarriesSenderClock) {
+  // Bump node 2's clock via commits; a later message from node 2 to node 0
+  // must advance node 0's clock (Lamport receive rule).
+  const ObjectId oid{52};
+  cluster->create_object(std::make_unique<Box>(oid), 2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster->execute(2, 1, [&](tfa::Txn& tx) {
+      tx.write<Box>(oid).value += 1;
+    }).committed);
+  }
+  const auto clock2 = cluster->node(2).clock().read();
+  ASSERT_GE(clock2, 3u);
+  ASSERT_LT(cluster->node(0).clock().read(), clock2);
+  // Any request/response pair with node 2 synchronises node 0.
+  auto call = cluster->node(0).request(2, net::FindOwnerRequest{ObjectId{52}});
+  ASSERT_TRUE(call.wait().has_value());
+  EXPECT_GE(cluster->node(0).clock().read(), clock2);
+}
+
+TEST_F(NodePair, PostIsFireAndForget) {
+  // AbortUnlock for a lock nobody holds is harmless and produces no reply.
+  cluster->create_object(std::make_unique<Box>(ObjectId{53}), 1);
+  net::AbortUnlock msg;
+  msg.oid = ObjectId{53};
+  msg.txid = TxnId{99};
+  cluster->node(0).post(1, msg);
+  cluster->network().wait_idle();
+  EXPECT_FALSE(cluster->node(1).store().get(ObjectId{53})->locked_by.valid());
+}
+
+TEST_F(NodePair, RoutedReplyReachesForeignCall) {
+  // reply_routed answers a request that a *different* node received — the
+  // queue hand-off path: node 0 sends a request towards node 1 (a one-way
+  // payload, so node 1 stays silent) and node 2 answers it by routed reply.
+  auto call = cluster->node(0).request(1, net::NotInterested{ObjectId{54}, TxnId{7}});
+  net::ObjectResponse grant;
+  grant.oid = ObjectId{54};
+  grant.txid = TxnId{7};
+  grant.object = std::make_shared<Box>(ObjectId{54}, 5);
+  cluster->node(2).reply_routed(/*to=*/0, call.id(), grant);
+  const auto got = call.wait_for(sim_ms(500));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->from, 2u);  // the answer came from the third party
+  const auto& resp = std::get<net::ObjectResponse>(got->payload);
+  ASSERT_NE(resp.object, nullptr);
+  EXPECT_EQ(object_cast<Box>(*resp.object).value, 5);
+}
+
+TEST_F(NodePair, OrphanGrantTriggersNotInterestedForwarding) {
+  // A granted object whose requester abandoned its call must flow to the
+  // next queued requester. Drive the real path: two transactions race for
+  // an object under validation with RTS; one expires its backoff.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 0;
+  cfg.scheduler.kind = "rts";
+  cfg.scheduler.cl_threshold = 8;
+  // Tiny max_backoff: enqueued requesters expire before hand-off.
+  cfg.scheduler.min_backoff = sim_us(10);
+  cfg.scheduler.max_backoff = sim_us(50);
+  cfg.scheduler.handoff_slack = 0;
+  Cluster c2(cfg);
+  const ObjectId oid{55};
+  c2.create_object(std::make_unique<Box>(oid), 0);
+  // Plain concurrent increments; expiries must not lose updates.
+  std::vector<std::jthread> threads;
+  for (NodeId n = 0; n < 2; ++n) {
+    threads.emplace_back([&c2, n, oid] {
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(c2.execute(n, 1, [&](tfa::Txn& tx) {
+          tx.write<Box>(oid).value += 1;
+        }).committed);
+      }
+    });
+  }
+  threads.clear();
+  int v = 0;
+  c2.execute(0, 2, [&](tfa::Txn& tx) { v = tx.read<Box>(oid).value; });
+  EXPECT_EQ(v, 20);
+  c2.shutdown();
+}
+
+TEST_F(NodePair, WaitForTimesOutCleanly) {
+  // A request whose reply is slower than the timeout: wait_for returns
+  // nothing and the system keeps running (the late reply becomes an orphan).
+  auto call = cluster->node(0).request(2, net::FindOwnerRequest{ObjectId{56}});
+  const auto got = call.wait_for(1);  // 1 ns: guaranteed expiry
+  EXPECT_FALSE(got.has_value());
+  cluster->network().wait_idle();  // the orphan reply is absorbed
+}
+
+}  // namespace
+}  // namespace hyflow::runtime

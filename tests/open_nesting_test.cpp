@@ -1,0 +1,166 @@
+// Open-nesting semantics (the paper's third nesting model, §I): an
+// open-nested child commits independently and globally; a parent abort runs
+// registered compensating actions instead of rolling the child back.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace hyflow {
+namespace {
+
+class Box : public TxObject<Box> {
+ public:
+  explicit Box(ObjectId id, int v = 0) : TxObject(id), value(v) {}
+  int value;
+};
+
+struct OpenNesting : ::testing::Test {
+  void SetUp() override {
+    runtime::ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.workers_per_node = 0;
+    cfg.topology.min_delay = sim_us(5);
+    cfg.topology.max_delay = sim_us(80);
+    cluster = std::make_unique<runtime::Cluster>(cfg);
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      cluster->create_object(std::make_unique<Box>(ObjectId{i}, 0),
+                             static_cast<NodeId>(i % 3));
+    }
+  }
+  void TearDown() override { cluster->shutdown(); }
+
+  int read_value(ObjectId oid) {
+    int v = -1;
+    cluster->execute(0, 99, [&](tfa::Txn& tx) { v = tx.read<Box>(oid).value; });
+    return v;
+  }
+
+  std::unique_ptr<runtime::Cluster> cluster;
+};
+
+TEST_F(OpenNesting, ChildEffectsVisibleBeforeParentCommits) {
+  int observed_mid_parent = -1;
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    tx.open_nested([&](tfa::Txn& child) { child.write<Box>(ObjectId{1}).value = 7; });
+    // Another node sees the open-nested write while the parent is live —
+    // the defining difference from closed nesting.
+    cluster->execute(1, 2, [&](tfa::Txn& other) {
+      observed_mid_parent = other.read<Box>(ObjectId{1}).value;
+    });
+    (void)tx;
+  }).committed);
+  EXPECT_EQ(observed_mid_parent, 7);
+}
+
+TEST_F(OpenNesting, ChildSurvivesParentAbortAndCompensationRuns) {
+  std::atomic<int> attempts{0};
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    const int attempt = attempts.fetch_add(1);
+    // Open-nested action with a semantic inverse.
+    tx.open_nested(
+        [&](tfa::Txn& child) { child.write<Box>(ObjectId{1}).value += 10; },
+        [&](tfa::Txn& comp) { comp.write<Box>(ObjectId{1}).value -= 10; });
+    (void)tx.read<Box>(ObjectId{2});
+    tx.write<Box>(ObjectId{3}).value += 1;  // parent writes -> full validation
+    if (attempt == 0) {
+      // Rival invalidates the parent's read set -> parent aborts once.
+      ASSERT_TRUE(cluster->execute(1, 2, [&](tfa::Txn& rival) {
+        rival.write<Box>(ObjectId{2}).value += 1;
+      }).committed);
+    }
+  }).committed);
+  EXPECT_GE(attempts.load(), 2);
+  // Attempt 0: +10, compensation -10; attempt 1: +10. Net: exactly one +10.
+  EXPECT_EQ(read_value(ObjectId{1}), 10);
+  const auto metrics = cluster->node(0).metrics().snapshot();
+  EXPECT_GE(metrics.open_nested_commits, 2u);
+  EXPECT_EQ(metrics.compensations_run, 1u);
+}
+
+TEST_F(OpenNesting, CompensationsRunNewestFirst) {
+  std::vector<int> order;
+  std::atomic<int> attempts{0};
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    const int attempt = attempts.fetch_add(1);
+    if (attempt == 0) {
+      tx.open_nested([&](tfa::Txn& c) { c.write<Box>(ObjectId{1}).value += 1; },
+                     [&](tfa::Txn& comp) {
+                       comp.write<Box>(ObjectId{1}).value -= 1;
+                       order.push_back(1);
+                     });
+      tx.open_nested([&](tfa::Txn& c) { c.write<Box>(ObjectId{3}).value += 1; },
+                     [&](tfa::Txn& comp) {
+                       comp.write<Box>(ObjectId{3}).value -= 1;
+                       order.push_back(2);
+                     });
+      tx.retry();  // force the parent abort
+    }
+  }).committed);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // newest compensation first
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(read_value(ObjectId{1}), 0);
+  EXPECT_EQ(read_value(ObjectId{3}), 0);
+}
+
+TEST_F(OpenNesting, NoCompensationOnParentCommit) {
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    tx.open_nested([&](tfa::Txn& c) { c.write<Box>(ObjectId{1}).value = 5; },
+                   [&](tfa::Txn& comp) { comp.write<Box>(ObjectId{1}).value = -999; });
+    tx.write<Box>(ObjectId{2}).value = 6;
+  }).committed);
+  EXPECT_EQ(read_value(ObjectId{1}), 5);
+  EXPECT_EQ(read_value(ObjectId{2}), 6);
+  EXPECT_EQ(cluster->node(0).metrics().snapshot().compensations_run, 0u);
+}
+
+TEST_F(OpenNesting, MixesWithClosedNesting) {
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    tx.nested([&](tfa::Txn& closed) { closed.write<Box>(ObjectId{1}).value += 1; });
+    tx.open_nested([&](tfa::Txn& open) { open.write<Box>(ObjectId{2}).value += 1; });
+    tx.nested([&](tfa::Txn& closed) { closed.write<Box>(ObjectId{3}).value += 1; });
+  }).committed);
+  EXPECT_EQ(read_value(ObjectId{1}), 1);
+  EXPECT_EQ(read_value(ObjectId{2}), 1);
+  EXPECT_EQ(read_value(ObjectId{3}), 1);
+}
+
+TEST_F(OpenNesting, OpenChildDoesNotSeeParentUncommittedWrites) {
+  // The documented open-nesting caveat: the independent child reads
+  // committed global state.
+  int child_saw = -1;
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    tx.write<Box>(ObjectId{4}).value = 42;  // uncommitted parent write
+    tx.open_nested([&](tfa::Txn& open) { child_saw = open.read<Box>(ObjectId{4}).value; });
+  }).committed);
+  EXPECT_EQ(child_saw, 0);
+  EXPECT_EQ(read_value(ObjectId{4}), 42);
+}
+
+TEST_F(OpenNesting, OpenChildRetriesOnConflictIndependently) {
+  // A rival storm on the open-nested child's object: the child's own retry
+  // loop must absorb the conflicts without ever aborting the parent.
+  std::atomic<bool> stop{false};
+  std::jthread storm([&] {
+    while (!stop.load()) {
+      cluster->execute(2, 3, [&](tfa::Txn& tx) { tx.write<Box>(ObjectId{5}).value += 1; });
+    }
+  });
+  const auto result = cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    for (int i = 0; i < 5; ++i) {
+      tx.open_nested([&](tfa::Txn& open) { open.write<Box>(ObjectId{5}).value += 100; });
+    }
+  });
+  stop.store(true);
+  storm.join();
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.attempts, 1u);  // the parent itself never aborted
+  // All five +100 increments landed despite the storm.
+  EXPECT_GE(read_value(ObjectId{5}), 500);
+}
+
+}  // namespace
+}  // namespace hyflow

@@ -1,0 +1,146 @@
+// Tests for the reporting layer (CSV writer, cluster report) and assorted
+// small surfaces: identifier packing, payload naming/sizing, Lamport
+// envelope propagation, and the logger.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "net/payloads.hpp"
+#include "runtime/report.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "workloads/dht.hpp"
+#include "workloads/registry.hpp"
+
+namespace hyflow {
+namespace {
+
+// ------------------------------------------------------------------ CSV ----
+
+struct TempFile {
+  TempFile() {
+    path = std::filesystem::temp_directory_path() /
+           ("hyflow_csv_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+  std::string read() const {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  std::filesystem::path path;
+  static inline int counter = 0;
+};
+
+TEST(Csv, WritesHeaderOnceAndAppends) {
+  TempFile tmp;
+  {
+    CsvWriter csv(tmp.path.string(), {"a", "b"});
+    ASSERT_TRUE(csv.enabled());
+    csv.row().cell(std::string("x")).cell(std::int64_t{1});
+  }
+  {
+    CsvWriter csv(tmp.path.string(), {"a", "b"});  // reopened: no second header
+    csv.row().cell(std::string("y")).cell(std::int64_t{2});
+  }
+  EXPECT_EQ(tmp.read(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, DisabledWriterIsNoop) {
+  CsvWriter csv("", {"a"});
+  EXPECT_FALSE(csv.enabled());
+  csv.row().cell(std::string("dropped"));  // must not crash
+}
+
+TEST(Csv, NumericFormatting) {
+  TempFile tmp;
+  {
+    CsvWriter csv(tmp.path.string(), {"d", "i", "u"});
+    csv.row().cell(1.5).cell(std::int64_t{-3}).cell(std::uint64_t{7});
+  }
+  EXPECT_EQ(tmp.read(), "d,i,u\n1.5,-3,7\n");
+}
+
+// --------------------------------------------------------------- report ----
+
+TEST(Report, CollectsPerNodeState) {
+  workloads::WorkloadConfig wcfg;
+  wcfg.local_work = 0;
+  auto wl = workloads::make_workload("dht", wcfg);
+  runtime::ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.workers_per_node = 0;
+  cfg.topology.min_delay = sim_us(1);
+  cfg.topology.max_delay = sim_us(20);
+  runtime::Cluster cluster(cfg);
+  wl->setup(cluster);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const auto op = wl->next_op(0, rng);
+    ASSERT_TRUE(cluster.execute(0, op.profile, op.body).committed);
+  }
+  const auto report = runtime::collect_report(cluster);
+  ASSERT_EQ(report.nodes.size(), 3u);
+  EXPECT_EQ(report.totals.commits_root, 10u);
+  EXPECT_EQ(report.total_objects, 3u * static_cast<std::size_t>(wcfg.objects_per_node));
+  EXPECT_GT(report.messages, 0u);
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("total commits=10"), std::string::npos);
+  EXPECT_NE(text.find("network messages="), std::string::npos);
+  cluster.shutdown();
+}
+
+// ----------------------------------------------------------- misc units ----
+
+TEST(Identifiers, TxnIdPacksNodeAndSequence) {
+  const TxnId id = TxnId::make(513, 0x123456789ull);
+  EXPECT_EQ(id.node(), 513u);
+  EXPECT_EQ(id.seq(), 0x123456789ull);
+  EXPECT_TRUE(id.valid());
+  EXPECT_FALSE(kInvalidTxn.valid());
+  EXPECT_FALSE(kInvalidObject.valid());
+}
+
+TEST(Payloads, NamesAndSizes) {
+  net::Payload p = net::ObjectRequest{};
+  EXPECT_STREQ(net::payload_name(p), "ObjectRequest");
+  p = net::CommitResponse{};
+  EXPECT_STREQ(net::payload_name(p), "CommitResponse");
+
+  net::ObjectResponse with_object;
+  with_object.object = std::make_shared<workloads::Bucket>(ObjectId{1}, 0);
+  net::ObjectResponse without_object;
+  EXPECT_GT(net::payload_wire_size(net::Payload{with_object}),
+            net::payload_wire_size(net::Payload{without_object}));
+}
+
+TEST(Log, LevelGating) {
+  const auto old = Log::level();
+  Log::set_level(LogLevel::kError);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  Log::set_level(LogLevel::kTrace);
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+  Log::set_level(old);
+}
+
+TEST(Log, FormatParts) {
+  EXPECT_EQ(log_detail::format_parts("x=", 42, " y=", 1.5), "x=42 y=1.5");
+}
+
+}  // namespace
+}  // namespace hyflow

@@ -1,0 +1,338 @@
+// Unit tests for the scheduler layer: Requester/RequesterList/SchedulingTable
+// (Alg. 1), the contention tracker, the RTS decision rule (Alg. 3), queue
+// hand-off order (Alg. 4), the baselines, and the threshold controller.
+#include <gtest/gtest.h>
+
+#include "core/backoff_scheduler.hpp"
+#include "core/contention.hpp"
+#include "core/requester_list.hpp"
+#include "core/rts_scheduler.hpp"
+#include "core/tfa_scheduler.hpp"
+#include "core/threshold_controller.hpp"
+
+namespace hyflow::core {
+namespace {
+
+net::QueuedRequester requester(std::uint64_t txn, net::AccessMode mode = net::AccessMode::kWrite,
+                               std::uint32_t contention = 0) {
+  net::QueuedRequester r;
+  r.address = static_cast<NodeId>(txn % 7);
+  r.txid = TxnId{txn};
+  r.reply_msg_id = txn * 100;
+  r.mode = mode;
+  r.contention = contention;
+  return r;
+}
+
+// -------------------------------------------------------- RequesterList ----
+
+TEST(RequesterList, AddRecordsContention) {
+  RequesterList list;
+  EXPECT_EQ(list.contention(), 0u);
+  list.add(3, requester(1));
+  EXPECT_EQ(list.contention(), 3u);
+  list.add(5, requester(2));
+  EXPECT_EQ(list.contention(), 5u);  // Alg. 1: running value, telescoped by callers
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(RequesterList, RemoveDuplicateByTxn) {
+  RequesterList list;
+  list.add(1, requester(1));
+  list.add(2, requester(2));
+  EXPECT_TRUE(list.remove_duplicate(TxnId{1}));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_FALSE(list.remove_duplicate(TxnId{1}));
+}
+
+TEST(RequesterList, PopHeadGroupSingleWriter) {
+  RequesterList list;
+  list.add(0, requester(1, net::AccessMode::kWrite));
+  list.add(0, requester(2, net::AccessMode::kWrite));
+  const auto group = list.pop_head_group();
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].txid, TxnId{1});
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(RequesterList, PopHeadGroupAllLeadingReaders) {
+  // §III-B: a committed object is sent to all consecutive waiting readers
+  // simultaneously.
+  RequesterList list;
+  list.add(0, requester(1, net::AccessMode::kRead));
+  list.add(0, requester(2, net::AccessMode::kRead));
+  list.add(0, requester(3, net::AccessMode::kWrite));
+  list.add(0, requester(4, net::AccessMode::kRead));
+  const auto group = list.pop_head_group();
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0].txid, TxnId{1});
+  EXPECT_EQ(group[1].txid, TxnId{2});
+  EXPECT_EQ(list.size(), 2u);  // writer then trailing reader stay queued
+}
+
+TEST(RequesterList, BkResetsWhenQueueEmpties) {
+  RequesterList list;
+  list.add_bk(sim_ms(5));
+  list.add(2, requester(1));
+  EXPECT_EQ(list.bk(), sim_ms(5));
+  (void)list.pop_head_group();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.bk(), 0);
+  EXPECT_EQ(list.contention(), 0u);
+}
+
+TEST(RequesterList, DrainReturnsAllInOrder) {
+  RequesterList list;
+  for (std::uint64_t i = 1; i <= 4; ++i) list.add(0, requester(i));
+  const auto all = list.drain();
+  ASSERT_EQ(all.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(all[i].txid, TxnId{i + 1});
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SchedulingTable, DepthAndRemove) {
+  SchedulingTable table;
+  table.with_list(ObjectId{1}, [&](RequesterList& list) {
+    list.add(0, requester(1));
+    list.add(0, requester(2));
+    return 0;
+  });
+  EXPECT_EQ(table.depth(ObjectId{1}), 2u);
+  EXPECT_EQ(table.depth(ObjectId{2}), 0u);
+  EXPECT_EQ(table.total_queued(), 2u);
+  EXPECT_TRUE(table.remove(ObjectId{1}, TxnId{1}));
+  EXPECT_FALSE(table.remove(ObjectId{1}, TxnId{9}));
+  // Popping the last entry erases the list.
+  EXPECT_EQ(table.pop_head_group(ObjectId{1}).size(), 1u);
+  EXPECT_EQ(table.depth(ObjectId{1}), 0u);
+  EXPECT_EQ(table.total_queued(), 0u);
+}
+
+// ---------------------------------------------------- ContentionTracker ----
+
+TEST(ContentionTracker, CountsDistinctTransactionsInWindow) {
+  ContentionTracker tracker(sim_ms(10));
+  const SimTime t0 = 1000000;
+  tracker.record_request(ObjectId{1}, TxnId{1}, t0);
+  tracker.record_request(ObjectId{1}, TxnId{2}, t0 + sim_ms(1));
+  tracker.record_request(ObjectId{1}, TxnId{1}, t0 + sim_ms(2));  // repeat
+  EXPECT_EQ(tracker.local_cl(ObjectId{1}, t0 + sim_ms(3)), 2u);
+  EXPECT_EQ(tracker.local_cl(ObjectId{2}, t0), 0u);
+}
+
+TEST(ContentionTracker, WindowExpires) {
+  ContentionTracker tracker(sim_ms(10));
+  const SimTime t0 = 1000000;
+  tracker.record_request(ObjectId{1}, TxnId{1}, t0);
+  tracker.record_request(ObjectId{1}, TxnId{2}, t0 + sim_ms(8));
+  EXPECT_EQ(tracker.local_cl(ObjectId{1}, t0 + sim_ms(9)), 2u);
+  EXPECT_EQ(tracker.local_cl(ObjectId{1}, t0 + sim_ms(15)), 1u);  // txn 1 aged out
+  EXPECT_EQ(tracker.local_cl(ObjectId{1}, t0 + sim_ms(30)), 0u);
+}
+
+TEST(ContentionTracker, RepeatRefreshesWindow) {
+  ContentionTracker tracker(sim_ms(10));
+  const SimTime t0 = 1000000;
+  tracker.record_request(ObjectId{1}, TxnId{1}, t0);
+  tracker.record_request(ObjectId{1}, TxnId{1}, t0 + sim_ms(8));
+  EXPECT_EQ(tracker.local_cl(ObjectId{1}, t0 + sim_ms(15)), 1u);  // still fresh
+}
+
+TEST(ContentionTracker, ForgetDropsObject) {
+  ContentionTracker tracker(sim_ms(10));
+  tracker.record_request(ObjectId{1}, TxnId{1}, 1000);
+  tracker.forget(ObjectId{1});
+  EXPECT_EQ(tracker.local_cl(ObjectId{1}, 2000), 0u);
+}
+
+// ------------------------------------------------------------------ RTS ----
+
+SchedulerConfig rts_config(std::uint32_t threshold = 3) {
+  SchedulerConfig cfg;
+  cfg.kind = "rts";
+  cfg.cl_threshold = threshold;
+  cfg.handoff_slack = sim_ms(1);
+  return cfg;
+}
+
+ConflictContext conflict(std::uint64_t txn, SimDuration exec_so_far,
+                         std::uint32_t requester_cl = 0,
+                         SimDuration validator_remaining = sim_ms(1)) {
+  ConflictContext ctx;
+  ctx.oid = ObjectId{1};
+  ctx.requester_node = 2;
+  ctx.request_msg_id = txn * 10;
+  ctx.request.oid = ObjectId{1};
+  ctx.request.txid = TxnId{txn};
+  ctx.request.mode = net::AccessMode::kWrite;
+  ctx.request.requester_cl = requester_cl;
+  ctx.request.ets.start = 1000000;
+  ctx.request.ets.request = 1000000 + exec_so_far;
+  ctx.request.ets.expected_commit = ctx.request.ets.request + sim_ms(4);
+  ctx.validator_remaining = validator_remaining;
+  ctx.now = ctx.request.ets.request;
+  return ctx;
+}
+
+TEST(RtsScheduler, ShortTransactionAborts) {
+  RtsScheduler rts(rts_config());
+  // Execution so far (0.5ms) below the wait ahead (1ms validator remaining).
+  const auto d = rts.on_conflict(conflict(1, sim_us(500)));
+  EXPECT_EQ(d.action, ConflictAction::kAbort);
+  EXPECT_EQ(rts.queue_depth(ObjectId{1}), 0u);
+}
+
+TEST(RtsScheduler, LongTransactionLowContentionEnqueues) {
+  RtsScheduler rts(rts_config());
+  const auto d = rts.on_conflict(conflict(1, sim_ms(10)));
+  EXPECT_EQ(d.action, ConflictAction::kEnqueue);
+  EXPECT_GE(d.backoff, sim_ms(1));  // at least the validator remaining
+  EXPECT_EQ(rts.queue_depth(ObjectId{1}), 1u);
+}
+
+TEST(RtsScheduler, HighContentionAborts) {
+  RtsScheduler rts(rts_config(/*threshold=*/3));
+  const auto d = rts.on_conflict(conflict(1, sim_ms(10), /*requester_cl=*/5));
+  EXPECT_EQ(d.action, ConflictAction::kAbort);
+}
+
+TEST(RtsScheduler, QueueContentionAccumulates) {
+  RtsScheduler rts(rts_config(/*threshold=*/4));
+  EXPECT_EQ(rts.on_conflict(conflict(1, sim_ms(50), 2)).action, ConflictAction::kEnqueue);
+  // Queue contention (2) + requester CL (2) hits the threshold: abort.
+  EXPECT_EQ(rts.on_conflict(conflict(2, sim_ms(50), 2)).action, ConflictAction::kAbort);
+  // A low-CL late arrival with enough age still gets in behind the queue.
+  const auto d = rts.on_conflict(conflict(3, sim_ms(50), 0));
+  EXPECT_EQ(d.action, ConflictAction::kEnqueue);
+  EXPECT_EQ(rts.queue_depth(ObjectId{1}), 2u);
+}
+
+TEST(RtsScheduler, LaterArrivalsWaitLonger) {
+  RtsScheduler rts(rts_config(/*threshold=*/10));
+  const auto first = rts.on_conflict(conflict(1, sim_ms(50)));
+  const auto second = rts.on_conflict(conflict(2, sim_ms(60)));
+  ASSERT_EQ(first.action, ConflictAction::kEnqueue);
+  ASSERT_EQ(second.action, ConflictAction::kEnqueue);
+  EXPECT_GT(second.backoff, first.backoff);  // waits behind txn 1 as well
+}
+
+TEST(RtsScheduler, DuplicateRequesterReplaced) {
+  RtsScheduler rts(rts_config());
+  ASSERT_EQ(rts.on_conflict(conflict(1, sim_ms(10))).action, ConflictAction::kEnqueue);
+  // Same transaction re-requests (its backoff expired): still one entry.
+  ASSERT_EQ(rts.on_conflict(conflict(1, sim_ms(20))).action, ConflictAction::kEnqueue);
+  EXPECT_EQ(rts.queue_depth(ObjectId{1}), 1u);
+}
+
+TEST(RtsScheduler, HandoffAndQueueTransfer) {
+  RtsScheduler rts(rts_config(/*threshold=*/10));
+  rts.on_conflict(conflict(1, sim_ms(50)));
+  rts.on_conflict(conflict(2, sim_ms(60)));
+  // Ownership transfer drains the queue...
+  auto moved = rts.extract_queue(ObjectId{1});
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(rts.queue_depth(ObjectId{1}), 0u);
+  // ... and the new owner's scheduler absorbs it, preserving order.
+  RtsScheduler new_owner(rts_config(10));
+  new_owner.absorb_queue(ObjectId{1}, std::move(moved));
+  const auto group = new_owner.on_object_available(ObjectId{1});
+  ASSERT_EQ(group.size(), 1u);  // head writer only
+  EXPECT_EQ(group[0].txid, TxnId{1});
+  EXPECT_EQ(new_owner.queue_depth(ObjectId{1}), 1u);
+}
+
+TEST(RtsScheduler, RemoveRequesterOnNotInterested) {
+  RtsScheduler rts(rts_config(/*threshold=*/10));
+  rts.on_conflict(conflict(1, sim_ms(50)));
+  rts.on_conflict(conflict(2, sim_ms(60)));
+  rts.remove_requester(ObjectId{1}, TxnId{1});
+  const auto group = rts.on_object_available(ObjectId{1});
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].txid, TxnId{2});
+}
+
+// ------------------------------------------------------------ Baselines ----
+
+TEST(TfaScheduler, AlwaysAborts) {
+  TfaScheduler tfa;
+  const auto d = tfa.on_conflict(conflict(1, sim_ms(100)));
+  EXPECT_EQ(d.action, ConflictAction::kAbort);
+  EXPECT_EQ(d.backoff, 0);
+  EXPECT_TRUE(tfa.extract_queue(ObjectId{1}).empty());
+}
+
+TEST(BackoffScheduler, AbortsWithStall) {
+  SchedulerConfig cfg;
+  cfg.kind = "backoff";
+  BackoffScheduler backoff(cfg);
+  const auto d = backoff.on_conflict(conflict(1, sim_ms(10)));
+  EXPECT_EQ(d.action, ConflictAction::kAbortWithStall);
+  EXPECT_EQ(d.backoff, sim_ms(4));  // ETS.c - ETS.r
+}
+
+TEST(BackoffScheduler, StallClamped) {
+  SchedulerConfig cfg;
+  cfg.kind = "backoff";
+  cfg.min_backoff = sim_ms(2);
+  cfg.max_backoff = sim_ms(3);
+  BackoffScheduler backoff(cfg);
+  EXPECT_EQ(backoff.on_conflict(conflict(1, sim_ms(10))).backoff, sim_ms(3));
+}
+
+TEST(SchedulerFactory, MakesAllKinds) {
+  SchedulerConfig cfg;
+  cfg.kind = "rts";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "rts");
+  cfg.kind = "tfa";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "tfa");
+  cfg.kind = "backoff";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "tfa+backoff");
+  cfg.kind = "tfa+backoff";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "tfa+backoff");
+}
+
+// -------------------------------------------------- ThresholdController ----
+
+TEST(ThresholdController, StaysWithinBounds) {
+  ThresholdController ctl(3, 1, 8, sim_ms(1));
+  SimTime t = 1;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    for (int i = 0; i < 10; ++i) ctl.note_commit(t);
+    t += sim_ms(2);
+  }
+  EXPECT_GE(ctl.threshold(), 1u);
+  EXPECT_LE(ctl.threshold(), 8u);
+  EXPECT_GT(ctl.epochs(), 10u);
+}
+
+TEST(ThresholdController, ReversesOnDecline) {
+  ThresholdController ctl(4, 1, 16, sim_ms(1));
+  SimTime t = 1;
+  // Epoch 1: high rate.
+  for (int i = 0; i < 100; ++i) ctl.note_commit(t + i);
+  t += sim_ms(2);
+  ctl.note_commit(t);
+  const auto after_first = ctl.threshold();
+  // Epoch 2: much lower rate -> direction must flip on the next rollover.
+  t += sim_ms(2);
+  ctl.note_commit(t);
+  const auto after_second = ctl.threshold();
+  EXPECT_NE(after_first, after_second);
+}
+
+TEST(RtsScheduler, AdaptiveThresholdEngages) {
+  auto cfg = rts_config(4);
+  cfg.adaptive_threshold = true;
+  RtsScheduler rts(cfg);
+  EXPECT_EQ(rts.current_threshold(), 4u);
+  SimTime t = 1;
+  for (int i = 0; i < 1000; ++i) {
+    rts.note_commit(t);
+    t += sim_us(500);
+  }
+  EXPECT_GE(rts.current_threshold(), 1u);
+  EXPECT_LE(rts.current_threshold(), 16u);
+}
+
+}  // namespace
+}  // namespace hyflow::core

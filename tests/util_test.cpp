@@ -1,0 +1,365 @@
+// Unit tests for the util substrate: bloom filter, online stats, histogram,
+// RNG, config parsing, blocking queue and spinlock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.hpp"
+#include "util/bloom_filter.hpp"
+#include "util/config.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace hyflow {
+namespace {
+
+// ---------------------------------------------------------------- Bloom ----
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter(1 << 12, 5);
+  for (std::uint64_t k = 0; k < 500; ++k) filter.insert(k * 7919);
+  for (std::uint64_t k = 0; k < 500; ++k) EXPECT_TRUE(filter.maybe_contains(k * 7919));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  BloomFilter filter(1 << 14, 7);
+  for (std::uint64_t k = 0; k < 1000; ++k) filter.insert(k);
+  std::size_t false_positives = 0;
+  const std::size_t probes = 20000;
+  for (std::uint64_t k = 0; k < probes; ++k) {
+    if (filter.maybe_contains(1'000'000 + k)) ++false_positives;
+  }
+  const double measured = static_cast<double>(false_positives) / probes;
+  // Theory predicts ~1%; accept up to 4x.
+  EXPECT_LT(measured, 4 * std::max(filter.estimated_fpr(), 0.01));
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter filter(1 << 10, 4);
+  filter.insert(42);
+  EXPECT_TRUE(filter.maybe_contains(42));
+  EXPECT_EQ(filter.inserted(), 1u);
+  filter.clear();
+  EXPECT_FALSE(filter.maybe_contains(42));
+  EXPECT_EQ(filter.inserted(), 0u);
+  EXPECT_DOUBLE_EQ(filter.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, FillRatioGrowsWithInserts) {
+  BloomFilter filter(1 << 10, 4);
+  double last = filter.fill_ratio();
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k)
+      filter.insert(static_cast<std::uint64_t>(round) * 1000 + k);
+    const double now = filter.fill_ratio();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+  EXPECT_LE(last, 1.0);
+}
+
+TEST(BloomFilter, RoundsBitsUpToPowerOfTwo) {
+  BloomFilter filter(1000, 3);
+  EXPECT_EQ(filter.bit_count(), 1024u);
+  BloomFilter tiny(1, 1);
+  EXPECT_EQ(tiny.bit_count(), 64u);
+}
+
+// ---------------------------------------------------------------- Stats ----
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.0, 1e-9);
+  EXPECT_NEAR(stats.stddev(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSinglePass) {
+  Xoshiro256 rng(123);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.seeded());
+  ewma.add(10.0);
+  EXPECT_TRUE(ewma.seeded());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma ewma(0.3, 0.0);
+  for (int i = 0; i < 100; ++i) ewma.add(42.0);
+  EXPECT_NEAR(ewma.value(), 42.0, 1e-6);
+}
+
+TEST(Ewma, SmoothsSteps) {
+  Ewma ewma(0.2);
+  ewma.add(0.0);
+  ewma.add(100.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 20.0);
+  ewma.reset(5.0);
+  EXPECT_FALSE(ewma.seeded());
+  EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+}
+
+// ------------------------------------------------------------ Histogram ----
+
+TEST(Histogram, PercentilesOnUniform) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(static_cast<double>(h.value_at_percentile(50)), 5000.0, 5000 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.value_at_percentile(99)), 9900.0, 9900 * 0.05);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.add(v);
+  EXPECT_EQ(h.value_at_percentile(0), 0u);
+  EXPECT_EQ(h.value_at_percentile(100), 31u);
+}
+
+TEST(Histogram, MergeEqualsCombined) {
+  Histogram a, b, combined;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(1 << 20);
+    combined.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.value_at_percentile(50), combined.value_at_percentile(50));
+  EXPECT_EQ(a.value_at_percentile(95), combined.value_at_percentile(95));
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.add(100);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.value_at_percentile(50), 0u);
+}
+
+// ------------------------------------------------------------------ RNG ----
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(99), b(99), c(100);
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    EXPECT_EQ(va, vb);
+    differs_from_c |= (va != vc);
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Xoshiro256 rng(17);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+// --------------------------------------------------------------- Config ----
+
+TEST(Config, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--nodes=40", "--verbose", "--ratio=0.25", "positional",
+                        "--name=bank"};
+  auto cfg = Config::from_args(6, const_cast<char**>(argv));
+  EXPECT_EQ(cfg.get_int("nodes", 0), 40);
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cfg.get_double("ratio", 0.0), 0.25);
+  EXPECT_EQ(cfg.get_string("name", ""), "bank");
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "positional");
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_EQ(cfg.get_string("missing", "d"), "d");
+  EXPECT_FALSE(cfg.get_bool("missing", false));
+}
+
+TEST(Config, IntListParsing) {
+  Config cfg;
+  cfg.set("nodes", "10,20,40,80");
+  const auto list = cfg.get_int_list("nodes", {});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[3], 80);
+  const auto fallback = cfg.get_int_list("absent", {1, 2});
+  ASSERT_EQ(fallback.size(), 2u);
+}
+
+// -------------------------------------------------------- BlockingQueue ----
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BlockingQueue, CloseUnblocksAndDrains) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));               // rejected after close
+  EXPECT_EQ(q.pop().value(), 1);         // drains remaining
+  EXPECT_FALSE(q.pop().has_value());     // then signals end
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::jthread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop().value(), 42);
+}
+
+TEST(BlockingQueue, ConcurrentProducersConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 4;
+  std::atomic<long long> sum{0};
+  std::atomic<long long> count{0};
+  std::vector<std::jthread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        count.fetch_add(1);
+      }
+    });
+  }
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, p] {
+        for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+      });
+    }
+  }  // producers joined
+  q.close();
+  consumers.clear();  // consumers drain and exit
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  long long counter = 0;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 20000; ++i) {
+          std::scoped_lock lk(lock);
+          ++counter;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Time, StopwatchMonotone) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto e1 = sw.elapsed();
+  EXPECT_GE(e1, sim_ms(4));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(sw.elapsed(), e1);
+}
+
+}  // namespace
+}  // namespace hyflow
