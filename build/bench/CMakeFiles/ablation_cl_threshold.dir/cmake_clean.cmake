@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cl_threshold.dir/ablation_cl_threshold.cpp.o"
+  "CMakeFiles/ablation_cl_threshold.dir/ablation_cl_threshold.cpp.o.d"
+  "ablation_cl_threshold"
+  "ablation_cl_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cl_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bi_interval.dir/ext_bi_interval.cpp.o"
+  "CMakeFiles/ext_bi_interval.dir/ext_bi_interval.cpp.o.d"
+  "ext_bi_interval"
+  "ext_bi_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bi_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nesting_models.dir/ext_nesting_models.cpp.o"
+  "CMakeFiles/ext_nesting_models.dir/ext_nesting_models.cpp.o.d"
+  "ext_nesting_models"
+  "ext_nesting_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nesting_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

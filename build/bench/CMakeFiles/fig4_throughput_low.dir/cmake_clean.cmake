@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_low.dir/fig4_throughput_low.cpp.o"
+  "CMakeFiles/fig4_throughput_low.dir/fig4_throughput_low.cpp.o.d"
+  "fig4_throughput_low"
+  "fig4_throughput_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

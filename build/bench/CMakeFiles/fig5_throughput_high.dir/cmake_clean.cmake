@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_throughput_high.dir/fig5_throughput_high.cpp.o"
+  "CMakeFiles/fig5_throughput_high.dir/fig5_throughput_high.cpp.o.d"
+  "fig5_throughput_high"
+  "fig5_throughput_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_throughput_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

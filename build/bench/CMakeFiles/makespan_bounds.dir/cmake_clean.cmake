@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makespan_bounds.dir/makespan_bounds.cpp.o"
+  "CMakeFiles/makespan_bounds.dir/makespan_bounds.cpp.o.d"
+  "makespan_bounds"
+  "makespan_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makespan_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

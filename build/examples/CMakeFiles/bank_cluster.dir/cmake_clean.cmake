@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_cluster.dir/bank_cluster.cpp.o"
+  "CMakeFiles/bank_cluster.dir/bank_cluster.cpp.o.d"
+  "bank_cluster"
+  "bank_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

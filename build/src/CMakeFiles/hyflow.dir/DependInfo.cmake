@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backoff_scheduler.cpp" "src/CMakeFiles/hyflow.dir/core/backoff_scheduler.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/backoff_scheduler.cpp.o.d"
+  "/root/repo/src/core/bi_interval_scheduler.cpp" "src/CMakeFiles/hyflow.dir/core/bi_interval_scheduler.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/bi_interval_scheduler.cpp.o.d"
+  "/root/repo/src/core/contention.cpp" "src/CMakeFiles/hyflow.dir/core/contention.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/contention.cpp.o.d"
+  "/root/repo/src/core/requester_list.cpp" "src/CMakeFiles/hyflow.dir/core/requester_list.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/requester_list.cpp.o.d"
+  "/root/repo/src/core/rts_scheduler.cpp" "src/CMakeFiles/hyflow.dir/core/rts_scheduler.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/rts_scheduler.cpp.o.d"
+  "/root/repo/src/core/tfa_scheduler.cpp" "src/CMakeFiles/hyflow.dir/core/tfa_scheduler.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/tfa_scheduler.cpp.o.d"
+  "/root/repo/src/core/threshold_controller.cpp" "src/CMakeFiles/hyflow.dir/core/threshold_controller.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/core/threshold_controller.cpp.o.d"
+  "/root/repo/src/dsm/coherence.cpp" "src/CMakeFiles/hyflow.dir/dsm/coherence.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/dsm/coherence.cpp.o.d"
+  "/root/repo/src/dsm/directory.cpp" "src/CMakeFiles/hyflow.dir/dsm/directory.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/dsm/directory.cpp.o.d"
+  "/root/repo/src/dsm/object.cpp" "src/CMakeFiles/hyflow.dir/dsm/object.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/dsm/object.cpp.o.d"
+  "/root/repo/src/dsm/object_store.cpp" "src/CMakeFiles/hyflow.dir/dsm/object_store.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/dsm/object_store.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/hyflow.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/payloads.cpp" "src/CMakeFiles/hyflow.dir/net/payloads.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/net/payloads.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/CMakeFiles/hyflow.dir/net/rpc.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/net/rpc.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/hyflow.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/net/topology.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/CMakeFiles/hyflow.dir/runtime/cluster.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/experiment.cpp" "src/CMakeFiles/hyflow.dir/runtime/experiment.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/runtime/experiment.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/CMakeFiles/hyflow.dir/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/node.cpp" "src/CMakeFiles/hyflow.dir/runtime/node.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/runtime/node.cpp.o.d"
+  "/root/repo/src/runtime/report.cpp" "src/CMakeFiles/hyflow.dir/runtime/report.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/runtime/report.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/CMakeFiles/hyflow.dir/runtime/worker.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/runtime/worker.cpp.o.d"
+  "/root/repo/src/tfa/stats_table.cpp" "src/CMakeFiles/hyflow.dir/tfa/stats_table.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/tfa/stats_table.cpp.o.d"
+  "/root/repo/src/tfa/tfa_runtime.cpp" "src/CMakeFiles/hyflow.dir/tfa/tfa_runtime.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/tfa/tfa_runtime.cpp.o.d"
+  "/root/repo/src/tfa/transaction.cpp" "src/CMakeFiles/hyflow.dir/tfa/transaction.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/tfa/transaction.cpp.o.d"
+  "/root/repo/src/util/bloom_filter.cpp" "src/CMakeFiles/hyflow.dir/util/bloom_filter.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/util/bloom_filter.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/hyflow.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/hyflow.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/hyflow.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/hyflow.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hyflow.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/util/stats.cpp.o.d"
+  "/root/repo/src/workloads/bank.cpp" "src/CMakeFiles/hyflow.dir/workloads/bank.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/bank.cpp.o.d"
+  "/root/repo/src/workloads/bst.cpp" "src/CMakeFiles/hyflow.dir/workloads/bst.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/bst.cpp.o.d"
+  "/root/repo/src/workloads/dht.cpp" "src/CMakeFiles/hyflow.dir/workloads/dht.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/dht.cpp.o.d"
+  "/root/repo/src/workloads/linked_list.cpp" "src/CMakeFiles/hyflow.dir/workloads/linked_list.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/linked_list.cpp.o.d"
+  "/root/repo/src/workloads/rbtree.cpp" "src/CMakeFiles/hyflow.dir/workloads/rbtree.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/rbtree.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/hyflow.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/vacation.cpp" "src/CMakeFiles/hyflow.dir/workloads/vacation.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/vacation.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/hyflow.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/hyflow.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

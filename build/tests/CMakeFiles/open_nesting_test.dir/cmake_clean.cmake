@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_nesting_test.dir/open_nesting_test.cpp.o"
+  "CMakeFiles/open_nesting_test.dir/open_nesting_test.cpp.o.d"
+  "open_nesting_test"
+  "open_nesting_test.pdb"
+  "open_nesting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_nesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

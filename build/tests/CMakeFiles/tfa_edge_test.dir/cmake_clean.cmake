@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfa_edge_test.dir/tfa_edge_test.cpp.o"
+  "CMakeFiles/tfa_edge_test.dir/tfa_edge_test.cpp.o.d"
+  "tfa_edge_test"
+  "tfa_edge_test.pdb"
+  "tfa_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfa_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfa_test.dir/tfa_test.cpp.o"
+  "CMakeFiles/tfa_test.dir/tfa_test.cpp.o.d"
+  "tfa_test"
+  "tfa_test.pdb"
+  "tfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyflow_run.dir/hyflow_run.cpp.o"
+  "CMakeFiles/hyflow_run.dir/hyflow_run.cpp.o.d"
+  "hyflow_run"
+  "hyflow_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyflow_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
