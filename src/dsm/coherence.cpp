@@ -13,9 +13,10 @@ std::optional<NodeId> OwnerResolver::find_owner(ObjectId oid) {
     if (it != hints_.end()) return it->second;
   }
   const NodeId home = home_node(oid, comm_.cluster_size());
-  auto call = comm_.request(home, net::FindOwnerRequest{oid});
-  auto reply = call.wait();
-  if (!reply) return std::nullopt;  // shutdown
+  const net::FindOwnerRequest req{oid};
+  auto call = comm_.request(home, req);
+  auto reply = net::reliable_wait(comm_, call, home, req, comm_.retry_policy());
+  if (!reply) return std::nullopt;  // shutdown, or retry budget exhausted
   const auto& resp = std::get<net::FindOwnerResponse>(reply->payload);
   if (!resp.known) {
     HYFLOW_WARN("find_owner: object ", oid.value, " unknown to directory");

@@ -41,10 +41,45 @@ class RequestCall {
     return registry_->wait(call_, msg_id_, timeout);
   }
 
+  // Like wait_for(), but the call stays registered on timeout — used by the
+  // retry layer, which re-sends under the same id and polls again.
+  std::optional<Message> poll_for(SimDuration timeout) {
+    return registry_->wait(call_, msg_id_, timeout, /*abandon_on_timeout=*/false);
+  }
+
+  // True once close_all() hit this call — distinguishes "cluster shutting
+  // down" from "reply genuinely lost" when wait_for() returns nothing.
+  bool closed() const {
+    std::scoped_lock lk(call_->mu);
+    return call_->closed;
+  }
+
  private:
   PendingCalls* registry_;
   PendingCalls::CallPtr call_;
   std::uint64_t msg_id_;
+};
+
+// Retry schedule for idempotent requests: capped exponential timeouts with
+// deterministic per-attempt jitter. Every resend reuses the original msg_id,
+// so the pending call keeps matching whichever attempt's reply lands first
+// and the receiver can deduplicate by id.
+struct RetryPolicy {
+  SimDuration base_timeout = sim_ms(8);
+  SimDuration max_timeout = sim_ms(50);
+  int max_retries = 6;  // resends after the first attempt
+
+  // Timeout for `attempt` (0-based), jittered +-25% by the request id so
+  // simultaneous retry storms de-synchronise deterministically.
+  SimDuration timeout_for(int attempt, std::uint64_t msg_id) const;
+
+  // Budget multiplier for phases that must not give up early (ownership
+  // registration / publication).
+  RetryPolicy scaled(int factor) const {
+    RetryPolicy p = *this;
+    p.max_retries *= factor;
+    return p;
+  }
 };
 
 class Comm {
@@ -67,6 +102,29 @@ class Comm {
   // object hand-off, where the committer answers an ObjectRequest that was
   // parked at the previous owner.
   virtual void reply_routed(NodeId to, std::uint64_t reply_to, Payload payload) = 0;
+
+  // Re-sends a request under its ORIGINAL msg_id (the pending call stays
+  // registered; the receiver's reply cache deduplicates re-execution).
+  // `attempt` is the retransmission ordinal (1 = first resend); the fault
+  // injector keys on it so retries of a dropped message roll new dice.
+  virtual void resend(NodeId to, std::uint64_t msg_id, std::uint32_t attempt,
+                      Payload payload) = 0;
+
+  // The node's retry schedule for reliable_wait().
+  virtual const RetryPolicy& retry_policy() const = 0;
+
+  // True once the node started shutting down its pending calls — lets
+  // callers distinguish "reply lost" (watchdog abort) from "cluster
+  // stopping" (shutdown abort) when a wait comes back empty.
+  virtual bool closing() const { return false; }
 };
+
+// Waits for the reply to `call`, re-sending `payload` to `to` on each
+// timeout per `policy`. Returns the reply, or nullopt once the retry budget
+// is exhausted (or the registry was closed — check call.closed()). Only
+// valid for idempotent requests: the receiver may execute the request more
+// than once if its reply cache has aged the entry out.
+std::optional<Message> reliable_wait(Comm& comm, RequestCall& call, NodeId to,
+                                     const Payload& payload, const RetryPolicy& policy);
 
 }  // namespace hyflow::net

@@ -18,6 +18,8 @@ struct Message {
   NodeId to = kInvalidNode;
   std::uint64_t msg_id = 0;    // cluster-unique, assigned by Network::send
   std::uint64_t reply_to = 0;  // msg_id of the request this answers; 0 = not a reply
+  std::uint32_t attempt = 0;   // retransmission ordinal (0 = first send); keyed
+                               // into fault injection so retries roll new dice
   std::uint64_t sender_clock = 0;  // sender's TFA logical clock at send time
   Payload payload;
 };

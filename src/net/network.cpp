@@ -8,9 +8,10 @@
 
 namespace hyflow::net {
 
-Network::Network(Topology topology, int delivery_threads)
+Network::Network(Topology topology, int delivery_threads, FaultPlan fault)
     : topology_(std::move(topology)),
       handlers_(topology_.node_count()),
+      faults_(std::move(fault)),
       delivery_thread_count_(delivery_threads) {
   HYFLOW_ASSERT(delivery_threads >= 1);
 }
@@ -26,6 +27,7 @@ void Network::register_handler(NodeId node, Handler handler) {
 void Network::start() {
   HYFLOW_ASSERT_MSG(!running_.exchange(true), "Network started twice");
   for (const auto& h : handlers_) HYFLOW_ASSERT_MSG(static_cast<bool>(h), "unregistered node");
+  faults_.arm(sim_now());  // partition/crash windows are offsets from here
   lanes_.clear();
   for (int i = 0; i < delivery_thread_count_; ++i)
     lanes_.push_back(std::make_unique<BlockingQueue<Message>>());
@@ -40,6 +42,21 @@ void Network::stop() {
   timer_cv_.notify_all();
   for (auto& lane : lanes_) lane->close();
   threads_.clear();  // jthread joins on destruction
+  // Account for every in-flight message the stop cut off: still waiting in
+  // the timer queue or sitting in a delivery lane behind a handler that
+  // never ran. Silent discards here used to mask protocol bugs.
+  std::uint64_t cut = 0;
+  {
+    std::scoped_lock lk(timer_mu_);
+    cut += timer_queue_.size();
+    while (!timer_queue_.empty()) timer_queue_.pop();
+  }
+  for (auto& lane : lanes_) cut += lane->size();
+  if (cut > 0) {
+    stats_.dropped_on_stop.fetch_add(cut, std::memory_order_relaxed);
+    in_flight_.fetch_sub(cut, std::memory_order_relaxed);
+    HYFLOW_INFO("network stop dropped ", cut, " in-flight message(s)");
+  }
 }
 
 std::uint64_t Network::send(Message m) {
@@ -56,7 +73,22 @@ std::uint64_t Network::send(Message m) {
         (1.0 / 9007199254740992.0);
     delay = static_cast<SimDuration>(static_cast<double>(delay) * (1.0 - j + 2.0 * j * u));
   }
-  const SimTime deliver_at = sim_now() + delay;
+  const SimTime now = sim_now();
+  const SendFate fate = faults_.on_send(m, now);
+  if (!fate.deliver) {
+    // Silent loss: the sender still sees a valid msg_id — recovering from
+    // exactly this is the reliable-RPC layer's job.
+    if (Log::enabled(LogLevel::kTrace)) {
+      HYFLOW_TRACE("fault drop ", payload_name(m.payload), " #", id, " ", m.from, "->", m.to);
+    }
+    return id;
+  }
+  if (fate.duplicate) schedule(m, now + delay + delay / 2 + 1);
+  schedule(std::move(m), now + delay + fate.extra_delay);
+  return id;
+}
+
+void Network::schedule(Message m, SimTime deliver_at) {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   {
     std::scoped_lock lk(timer_mu_);
@@ -64,7 +96,6 @@ std::uint64_t Network::send(Message m) {
         Timed{deliver_at, next_seq_.fetch_add(1, std::memory_order_relaxed), std::move(m)});
   }
   timer_cv_.notify_one();
-  return id;
 }
 
 void Network::dispatcher_loop(std::stop_token st) {

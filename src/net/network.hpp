@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/fault_injector.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "util/blocking_queue.hpp"
@@ -29,6 +30,8 @@ struct TransportStats {
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> object_payloads{0};
+  // Messages still queued or in a delivery lane when stop() cut them off.
+  std::atomic<std::uint64_t> dropped_on_stop{0};
 
   void record(const Message& m) {
     messages.fetch_add(1, std::memory_order_relaxed);
@@ -44,8 +47,9 @@ class Network {
  public:
   using Handler = std::function<void(Message)>;
 
-  // `delivery_threads` sizes the pool that runs node handlers.
-  explicit Network(Topology topology, int delivery_threads = 2);
+  // `delivery_threads` sizes the pool that runs node handlers. `fault`
+  // configures the (default-off) fault-injection layer.
+  explicit Network(Topology topology, int delivery_threads = 2, FaultPlan fault = {});
   ~Network();
 
   Network(const Network&) = delete;
@@ -55,7 +59,10 @@ class Network {
   void register_handler(NodeId node, Handler handler);
 
   void start();
-  void stop();  // idempotent; drains nothing — in-flight messages are dropped
+  // Idempotent; drains nothing — in-flight messages are dropped, but they
+  // are counted (TransportStats::dropped_on_stop) and logged, never lost
+  // silently.
+  void stop();
 
   // Assigns msg_id (returned) and schedules delivery. Returns 0 when the
   // network is stopped.
@@ -69,6 +76,7 @@ class Network {
 
   const Topology& topology() const { return topology_; }
   const TransportStats& stats() const { return stats_; }
+  const FaultInjector& faults() const { return faults_; }
 
   // Test hook: block until no message is queued or in flight.
   void wait_idle() const;
@@ -87,9 +95,12 @@ class Network {
   void dispatcher_loop(std::stop_token st);
   void delivery_loop(std::stop_token st, int lane);
 
+  void schedule(Message m, SimTime deliver_at);
+
   Topology topology_;
   std::vector<Handler> handlers_;
   TransportStats stats_;
+  FaultInjector faults_;
 
   mutable std::mutex timer_mu_;
   std::condition_variable timer_cv_;

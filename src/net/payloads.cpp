@@ -18,6 +18,8 @@ struct NameVisitor {
   const char* operator()(const CommitRequest&) const { return "CommitRequest"; }
   const char* operator()(const CommitResponse&) const { return "CommitResponse"; }
   const char* operator()(const AbortUnlock&) const { return "AbortUnlock"; }
+  const char* operator()(const GrantAck&) const { return "GrantAck"; }
+  const char* operator()(const Ack&) const { return "Ack"; }
 };
 
 struct SizeVisitor {

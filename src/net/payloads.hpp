@@ -77,6 +77,7 @@ struct ObjectResponse {
   std::uint32_t owner_cl = 0;  // local contention level of oid at the owner
   bool enqueued = false;       // true: parked, the object will be pushed later
   bool wrong_owner = false;    // stale directory entry: re-resolve and retry
+  bool handoff = false;        // Alg. 4 queue hand-off: requester must GrantAck
 };
 
 struct NotInterested {
@@ -134,16 +135,29 @@ struct CommitResponse {
   std::vector<QueuedRequester> queue;
 };
 
-struct AbortUnlock {  // one-way: release a lock taken by a doomed commit
+struct AbortUnlock {  // release a lock taken by a doomed commit (acked: a
+  ObjectId oid;       // lost release would wedge the object forever)
+  TxnId txid;
+};
+
+// Requester confirms it consumed an Alg. 4 grant; until this arrives the
+// granting owner keeps the requester queued and re-forwards on timeout, so a
+// dropped grant cannot leak the object.
+struct GrantAck {
   ObjectId oid;
   TxnId txid;
+};
+
+// Generic acknowledgement for one-way-turned-reliable messages (AbortUnlock).
+struct Ack {
+  ObjectId oid;
 };
 
 using Payload =
     std::variant<FindOwnerRequest, FindOwnerResponse, RegisterOwnerRequest,
                  RegisterOwnerResponse, ObjectRequest, ObjectResponse, NotInterested,
                  LockRequest, LockResponse, ValidateRequest, ValidateResponse,
-                 CommitRequest, CommitResponse, AbortUnlock>;
+                 CommitRequest, CommitResponse, AbortUnlock, GrantAck, Ack>;
 
 const char* payload_name(const Payload& p);
 std::size_t payload_wire_size(const Payload& p);

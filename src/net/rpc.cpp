@@ -26,6 +26,10 @@ bool PendingCalls::deliver(Message reply) {
   }
   {
     std::scoped_lock lk(call->mu);
+    // The map entry was found, but wait() may have abandoned the call
+    // between our map lookup and here; `abandoned` is ordered by call->mu,
+    // so exactly one side claims the reply.
+    if (call->abandoned) return false;  // orphan
     call->replies.push_back(std::move(reply));
   }
   call->cv.notify_all();
@@ -33,19 +37,26 @@ bool PendingCalls::deliver(Message reply) {
 }
 
 std::optional<Message> PendingCalls::wait(const CallPtr& call, std::uint64_t msg_id,
-                                          std::optional<SimDuration> timeout) {
+                                          std::optional<SimDuration> timeout,
+                                          bool abandon_on_timeout) {
   std::unique_lock lk(call->mu);
   const auto ready = [&] { return !call->replies.empty() || call->closed; };
   if (timeout && !call->cv.wait_for(lk, to_chrono(*timeout), ready)) {
+    if (!abandon_on_timeout) return std::nullopt;  // registration survives
     // Timed out: abandon. A deliver() may be between "found the entry" and
-    // "queued the reply", so after deregistering re-check under call->mu.
+    // "queued the reply", so after deregistering re-check under call->mu;
+    // marking `abandoned` under the same lock closes the race where the
+    // reply lands after this re-check (it becomes an orphan at deliver()).
     lk.unlock();
     {
       std::scoped_lock map_lk(mu_);
       calls_.erase(msg_id);
     }
     lk.lock();
-    if (call->replies.empty()) return std::nullopt;  // truly abandoned
+    if (call->replies.empty()) {
+      call->abandoned = true;
+      return std::nullopt;  // truly abandoned
+    }
   } else if (!timeout) {
     call->cv.wait(lk, ready);
   }

@@ -36,6 +36,10 @@ class PendingCalls {
     std::condition_variable cv;
     std::deque<Message> replies;
     bool closed = false;
+    // Set (under mu) when a timeout abandoned the call. deliver() re-checks
+    // it after queueing so a reply racing the abandon is either returned by
+    // wait() or reported as an orphan — never both, never neither.
+    bool abandoned = false;
   };
   using CallPtr = std::shared_ptr<CallState>;
 
@@ -49,11 +53,14 @@ class PendingCalls {
   bool deliver(Message reply);
 
   // Blocks until a reply is queued, the timeout expires, or close_all().
-  // On timeout the call is abandoned: it is deregistered and any future
-  // reply becomes an orphan. If a reply slipped in during the abandon race
-  // it is returned instead.
+  // With `abandon_on_timeout` (the default), a timeout abandons the call:
+  // it is deregistered and any future reply becomes an orphan; if a reply
+  // slipped in during the abandon race it is returned instead. With it
+  // false the registration survives the timeout — the retry layer re-sends
+  // under the same id and waits again.
   std::optional<Message> wait(const CallPtr& call, std::uint64_t msg_id,
-                              std::optional<SimDuration> timeout);
+                              std::optional<SimDuration> timeout,
+                              bool abandon_on_timeout = true);
 
   // Deregisters a call whose final reply has been consumed.
   void done(std::uint64_t msg_id);
@@ -65,6 +72,12 @@ class PendingCalls {
   void reopen();
 
   std::size_t open_count() const;
+
+  // True between close_all() and reopen().
+  bool closed() const {
+    std::scoped_lock lk(mu_);
+    return closed_;
+  }
 
  private:
   mutable std::mutex mu_;

@@ -10,11 +10,13 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   HYFLOW_ASSERT(cfg.nodes >= 1);
   net::TopologyConfig topo = cfg.topology;
   topo.nodes = cfg.nodes;
-  network_ = std::make_unique<net::Network>(net::Topology(topo), cfg.delivery_threads);
+  network_ = std::make_unique<net::Network>(net::Topology(topo), cfg.delivery_threads,
+                                            cfg.fault);
 
   NodeConfig node_cfg;
   node_cfg.scheduler = cfg.scheduler;
   node_cfg.tfa = cfg.tfa;
+  node_cfg.rpc = cfg.rpc;
   nodes_.reserve(cfg.nodes);
   for (NodeId id = 0; id < cfg.nodes; ++id) {
     nodes_.push_back(std::make_unique<Node>(id, *network_, node_cfg));
@@ -23,6 +25,13 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
     });
   }
   network_->start();
+  maintenance_ = std::jthread([this](std::stop_token st) {
+    while (!st.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const SimTime now = sim_now();
+      for (auto& n : nodes_) n->runtime().sweep_grants(now);
+    }
+  });
 }
 
 Cluster::~Cluster() { shutdown(); }
@@ -99,6 +108,10 @@ void Cluster::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   stop_workers();
+  if (maintenance_.joinable()) {
+    maintenance_.request_stop();
+    maintenance_.join();
+  }
   for (auto& n : nodes_) n->close_pending();
   network_->stop();
 }

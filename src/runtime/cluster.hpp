@@ -28,6 +28,8 @@ struct ClusterConfig {
   net::TopologyConfig topology;  // `nodes` is overridden to match
   core::SchedulerConfig scheduler;
   tfa::TfaConfig tfa;
+  net::FaultPlan fault;     // fault injection (default off)
+  net::RetryPolicy rpc;     // reliable-RPC retry schedule
   std::uint64_t seed = 1;
 };
 
@@ -73,6 +75,9 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Worker>> workers_;
   Histogram merged_latency_;
+  // Periodically expires unacknowledged Alg. 4 grants on every node so a
+  // dropped hand-off re-serves the queue instead of stranding it.
+  std::jthread maintenance_;
   bool shut_down_ = false;
 };
 

@@ -21,6 +21,10 @@ MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
   forwardings += other.forwardings;
   open_nested_commits += other.open_nested_commits;
   compensations_run += other.compensations_run;
+  rpc_retries += other.rpc_retries;
+  dedup_hits += other.dedup_hits;
+  watchdog_aborts += other.watchdog_aborts;
+  grant_reforwards += other.grant_reforwards;
   return *this;
 }
 
@@ -44,6 +48,10 @@ MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& other) const {
   d.forwardings -= other.forwardings;
   d.open_nested_commits -= other.open_nested_commits;
   d.compensations_run -= other.compensations_run;
+  d.rpc_retries -= other.rpc_retries;
+  d.dedup_hits -= other.dedup_hits;
+  d.watchdog_aborts -= other.watchdog_aborts;
+  d.grant_reforwards -= other.grant_reforwards;
   return d;
 }
 
@@ -68,6 +76,10 @@ MetricsSnapshot NodeMetrics::snapshot() const {
   s.forwardings = forwardings_.load(std::memory_order_relaxed);
   s.open_nested_commits = open_nested_commits_.load(std::memory_order_relaxed);
   s.compensations_run = compensations_run_.load(std::memory_order_relaxed);
+  s.rpc_retries = rpc_retries_.load(std::memory_order_relaxed);
+  s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  s.watchdog_aborts = watchdog_aborts_.load(std::memory_order_relaxed);
+  s.grant_reforwards = grant_reforwards_.load(std::memory_order_relaxed);
   return s;
 }
 

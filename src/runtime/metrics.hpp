@@ -39,6 +39,11 @@ struct MetricsSnapshot {
   std::uint64_t forwardings = 0;
   std::uint64_t open_nested_commits = 0;
   std::uint64_t compensations_run = 0;
+  // Degradation counters (fault tolerance layer).
+  std::uint64_t rpc_retries = 0;        // requests re-sent after a timeout
+  std::uint64_t dedup_hits = 0;         // duplicate requests answered from cache
+  std::uint64_t watchdog_aborts = 0;    // transactions aborted on retry exhaustion
+  std::uint64_t grant_reforwards = 0;   // Alg. 4 grants re-forwarded after ack loss
 
   std::uint64_t aborts_total() const {
     std::uint64_t sum = 0;
@@ -87,6 +92,10 @@ class NodeMetrics {
     open_nested_commits_.fetch_add(1, std::memory_order_relaxed);
   }
   void add_compensation_run() { compensations_run_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rpc_retry() { rpc_retries_.fetch_add(1, std::memory_order_relaxed); }
+  void add_dedup_hit() { dedup_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_watchdog_abort() { watchdog_aborts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_grant_reforward() { grant_reforwards_.fetch_add(1, std::memory_order_relaxed); }
 
   MetricsSnapshot snapshot() const;
 
@@ -110,6 +119,10 @@ class NodeMetrics {
   std::atomic<std::uint64_t> forwardings_{0};
   std::atomic<std::uint64_t> open_nested_commits_{0};
   std::atomic<std::uint64_t> compensations_run_{0};
+  std::atomic<std::uint64_t> rpc_retries_{0};
+  std::atomic<std::uint64_t> dedup_hits_{0};
+  std::atomic<std::uint64_t> watchdog_aborts_{0};
+  std::atomic<std::uint64_t> grant_reforwards_{0};
 };
 
 }  // namespace hyflow::runtime

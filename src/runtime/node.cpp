@@ -5,6 +5,7 @@ namespace hyflow::runtime {
 Node::Node(NodeId id, net::Network& network, const NodeConfig& cfg)
     : id_(id),
       network_(network),
+      rpc_policy_(cfg.rpc),
       stats_(cfg.tfa.default_expected_duration),
       contention_(cfg.scheduler.contention_window),
       scheduler_(core::make_scheduler(cfg.scheduler)),
@@ -37,6 +38,10 @@ void Node::post(NodeId to, net::Payload payload) {
 }
 
 void Node::reply(const net::Message& request, net::Payload payload) {
+  // Remember the reply so a retried/duplicated request replays it instead
+  // of re-executing the handler (a replayed CommitRequest must hand back
+  // the queue captured at the real hand-over, not current state).
+  reply_cache_.record_reply(request.msg_id, payload);
   net::Message m = envelope(request.from, std::move(payload));
   m.reply_to = request.msg_id;
   network_.send(std::move(m));
@@ -48,10 +53,31 @@ void Node::reply_routed(NodeId to, std::uint64_t reply_to, net::Payload payload)
   network_.send(std::move(m));
 }
 
+void Node::resend(NodeId to, std::uint64_t msg_id, std::uint32_t attempt,
+                  net::Payload payload) {
+  metrics_.add_rpc_retry();
+  net::Message m = envelope(to, std::move(payload));
+  m.msg_id = msg_id;    // same id: replies of any attempt match the call
+  m.attempt = attempt;  // new ordinal: the fault injector re-rolls its dice
+  network_.send(std::move(m));
+}
+
 void Node::handle_message(net::Message msg) {
   clock_.advance_to(msg.sender_clock);  // Lamport receive rule
   if (msg.reply_to != 0) {
     if (!pending_.deliver(msg)) runtime_->handle_orphan_reply(msg);
+    return;
+  }
+  const auto seen = reply_cache_.admit(msg.msg_id);
+  if (seen.duplicate) {
+    // Retry or network duplicate of a request already executed: never run
+    // the handler twice — replay the recorded reply, or swallow a one-way.
+    metrics_.add_dedup_hit();
+    if (seen.reply) {
+      net::Message m = envelope(msg.from, *seen.reply);
+      m.reply_to = msg.msg_id;
+      network_.send(std::move(m));
+    }
     return;
   }
   runtime_->handle_request(msg);

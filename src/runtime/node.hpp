@@ -17,6 +17,7 @@
 #include "dsm/object_store.hpp"
 #include "net/comm.hpp"
 #include "net/network.hpp"
+#include "net/reply_cache.hpp"
 #include "net/rpc.hpp"
 #include "runtime/metrics.hpp"
 #include "tfa/node_clock.hpp"
@@ -28,6 +29,7 @@ namespace hyflow::runtime {
 struct NodeConfig {
   core::SchedulerConfig scheduler;
   tfa::TfaConfig tfa;
+  net::RetryPolicy rpc;  // retry schedule for reliable requests
 };
 
 class Node final : public net::Comm {
@@ -44,6 +46,10 @@ class Node final : public net::Comm {
   void post(NodeId to, net::Payload payload) override;
   void reply(const net::Message& request, net::Payload payload) override;
   void reply_routed(NodeId to, std::uint64_t reply_to, net::Payload payload) override;
+  void resend(NodeId to, std::uint64_t msg_id, std::uint32_t attempt,
+              net::Payload payload) override;
+  const net::RetryPolicy& retry_policy() const override { return rpc_policy_; }
+  bool closing() const override { return pending_.closed(); }
 
   // Entry point registered with the network.
   void handle_message(net::Message msg);
@@ -69,6 +75,8 @@ class Node final : public net::Comm {
   NodeId id_;
   net::Network& network_;
   net::PendingCalls pending_;
+  net::RetryPolicy rpc_policy_;
+  net::ReplyCache reply_cache_;  // request dedup for at-least-once delivery
   dsm::ObjectStore store_;
   dsm::DirectoryShard directory_;
   tfa::NodeClock clock_;

@@ -23,6 +23,13 @@ ClusterReport collect_report(Cluster& cluster) {
   report.messages = stats.messages.load();
   report.bytes = stats.bytes.load();
   report.object_payloads = stats.object_payloads.load();
+  report.dropped_on_stop = stats.dropped_on_stop.load();
+  const auto& faults = cluster.network().faults().stats();
+  report.faults_dropped = faults.dropped.load();
+  report.faults_duplicated = faults.duplicated.load();
+  report.faults_delayed = faults.delayed.load();
+  report.faults_partition_dropped = faults.partition_dropped.load();
+  report.faults_crash_dropped = faults.crash_dropped.load();
   return report;
 }
 
@@ -55,6 +62,29 @@ std::string ClusterReport::to_string() const {
                 static_cast<unsigned long long>(bytes),
                 static_cast<unsigned long long>(object_payloads));
   os << line;
+  const std::uint64_t injected = faults_dropped + faults_duplicated + faults_delayed +
+                                 faults_partition_dropped + faults_crash_dropped;
+  if (injected > 0 || dropped_on_stop > 0 || totals.rpc_retries > 0 ||
+      totals.dedup_hits > 0 || totals.watchdog_aborts > 0 || totals.grant_reforwards > 0) {
+    std::snprintf(line, sizeof(line),
+                  "faults dropped=%llu dup=%llu delayed=%llu partition=%llu crash=%llu "
+                  "stop-drops=%llu\n",
+                  static_cast<unsigned long long>(faults_dropped),
+                  static_cast<unsigned long long>(faults_duplicated),
+                  static_cast<unsigned long long>(faults_delayed),
+                  static_cast<unsigned long long>(faults_partition_dropped),
+                  static_cast<unsigned long long>(faults_crash_dropped),
+                  static_cast<unsigned long long>(dropped_on_stop));
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "recovery retries=%llu dedup-hits=%llu watchdog-aborts=%llu "
+                  "grant-reforwards=%llu\n",
+                  static_cast<unsigned long long>(totals.rpc_retries),
+                  static_cast<unsigned long long>(totals.dedup_hits),
+                  static_cast<unsigned long long>(totals.watchdog_aborts),
+                  static_cast<unsigned long long>(totals.grant_reforwards));
+    os << line;
+  }
   return os.str();
 }
 

@@ -25,7 +25,14 @@ struct ClusterReport {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t object_payloads = 0;
+  std::uint64_t dropped_on_stop = 0;
   std::size_t total_objects = 0;
+  // Injected-fault totals (all zero when fault injection is off).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_partition_dropped = 0;
+  std::uint64_t faults_crash_dropped = 0;
 
   // Multi-line human-readable table.
   std::string to_string() const;

@@ -23,6 +23,7 @@ enum class AbortCause : std::uint8_t {
   kLockConflict,      // commit-time lock denied (busy or version mismatch)
   kShutdown,          // cluster stopping
   kUserRetry,         // workload-requested restart
+  kWatchdog,          // RPC retry budget exhausted: peer unreachable/reply lost
   kCauseCount
 };
 
@@ -35,6 +36,7 @@ constexpr const char* abort_cause_name(AbortCause c) {
     case AbortCause::kLockConflict: return "lock-conflict";
     case AbortCause::kShutdown: return "shutdown";
     case AbortCause::kUserRetry: return "user-retry";
+    case AbortCause::kWatchdog: return "watchdog";
     case AbortCause::kCauseCount: break;
   }
   return "?";

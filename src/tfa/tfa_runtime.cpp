@@ -125,8 +125,18 @@ RunResult TfaRuntime::run(std::uint32_t profile, const std::function<void(Txn&)>
 }
 
 void TfaRuntime::abort_txn(AbortCause cause, int locus, ObjectId oid, SimDuration stall) {
+  if (cause == AbortCause::kWatchdog) metrics_.add_watchdog_abort();
   throw AbortException{cause, locus, oid, stall};
 }
+
+namespace {
+// Maps an empty reliable_wait result to the right abort cause: the registry
+// being closed means orderly shutdown; otherwise the retry budget ran out
+// with the peer unreachable and the watchdog fires.
+AbortCause empty_wait_cause(const net::RequestCall& call) {
+  return call.closed() ? AbortCause::kShutdown : AbortCause::kWatchdog;
+}
+}  // namespace
 
 AccessEntry& TfaRuntime::open_object(Transaction& leaf, ObjectId oid, net::AccessMode mode) {
   // Already in the transaction tree? Serve it locally — the fetched object
@@ -164,8 +174,8 @@ AccessEntry& TfaRuntime::open_object(Transaction& leaf, ObjectId oid, net::Acces
     req.ets = net::Ets{root.wall_start(), sim_now(), root.expected_commit()};
 
     auto call = comm_.request(*owner, req);
-    const auto reply = call.wait();
-    if (!reply) abort_txn(AbortCause::kShutdown, 0, oid);
+    const auto reply = net::reliable_wait(comm_, call, *owner, req, comm_.retry_policy());
+    if (!reply) abort_txn(empty_wait_cause(call), 0, oid);
     const auto& resp = std::get<net::ObjectResponse>(reply->payload);
 
     if (resp.wrong_owner) {
@@ -173,13 +183,29 @@ AccessEntry& TfaRuntime::open_object(Transaction& leaf, ObjectId oid, net::Acces
       metrics_.add_wrong_owner_retry();
       continue;
     }
-    if (resp.object) return admit_granted(leaf, oid, mode, *reply);
+    if (resp.object) {
+      if (resp.handoff) comm_.post(reply->from, net::GrantAck{oid, root.id()});
+      return admit_granted(leaf, oid, mode, *reply);
+    }
 
     if (resp.enqueued) {
       // RTS parked us: the open blocks until the object is pushed (by the
       // validating transaction's commit/abort) or the backoff runs out.
+      // A retried request can surface a replayed "enqueued" answer from the
+      // owner's reply cache; those are skipped, only a grant (or scheduler
+      // denial) ends the wait early.
       metrics_.add_enqueued();
-      const auto pushed = call.wait_for(std::max<SimDuration>(resp.backoff, sim_us(10)));
+      const SimTime deadline = sim_now() + std::max<SimDuration>(resp.backoff, sim_us(10));
+      std::optional<net::Message> pushed;
+      for (;;) {
+        const SimTime now = sim_now();
+        if (now >= deadline) break;
+        pushed = call.poll_for(deadline - now);
+        if (!pushed) break;
+        const auto& next = std::get<net::ObjectResponse>(pushed->payload);
+        if (next.object || !next.enqueued) break;  // grant or denial
+        pushed.reset();  // duplicate park notice: keep waiting
+      }
       if (!pushed) {
         metrics_.add_backoff_expired();
         // Proactively withdraw from the queue (best effort: the owner may
@@ -194,6 +220,7 @@ AccessEntry& TfaRuntime::open_object(Transaction& leaf, ObjectId oid, net::Acces
       const auto& granted = std::get<net::ObjectResponse>(pushed->payload);
       if (granted.object) {
         metrics_.add_handoff_received();
+        if (granted.handoff) comm_.post(pushed->from, net::GrantAck{oid, root.id()});
         return admit_granted(leaf, oid, mode, *pushed);
       }
       abort_txn(AbortCause::kSchedulerDenied, 0, oid);
@@ -295,9 +322,17 @@ void TfaRuntime::run_validation(std::vector<ValidateItem>& items) {
 
     for (ValidateItem& it : items) {
       if (it.done || !it.call) continue;
-      const auto reply = it.call->wait();
+      net::ValidateRequest req;
+      req.oid = it.oid;
+      req.expected_clock = it.entry->version.clock;
+      const auto reply =
+          net::reliable_wait(comm_, *it.call, it.target, req, comm_.retry_policy());
+      if (!reply) {
+        const AbortCause cause = empty_wait_cause(*it.call);
+        it.call.reset();
+        abort_txn(cause, it.depth, it.oid);
+      }
       it.call.reset();
-      if (!reply) abort_txn(AbortCause::kShutdown, it.depth, it.oid);
       const auto& resp = std::get<net::ValidateResponse>(reply->payload);
       if (resp.valid) {
         it.done = true;
@@ -372,19 +407,44 @@ void TfaRuntime::commit_root(Transaction& root) {
   // concurrently; the window is one directory round-trip, not one per object.
   {
     std::vector<net::RequestCall> calls;
+    std::vector<net::RegisterOwnerRequest> reqs;
     calls.reserve(writes.size());
+    reqs.reserve(writes.size());
     for (auto& w : writes) {
       net::RegisterOwnerRequest req;
       req.oid = w.oid;
       req.new_owner = comm_.self();
       req.version_clock = commit_clock;
+      reqs.push_back(req);
       calls.push_back(comm_.request(dsm::home_node(w.oid, comm_.cluster_size()), req));
     }
+    // Registration must not give up early — a half-registered write set
+    // poisons the directory — so it gets a multiplied retry budget. If it
+    // still fails, every possibly-applied registration is rolled back to
+    // the previous owner at the same clock (register_owner accepts equal
+    // clocks), then the locks are released and the commit aborts.
+    const net::RetryPolicy policy = comm_.retry_policy().scaled(3);
     for (std::size_t i = 0; i < calls.size(); ++i) {
-      if (!calls[i].wait()) {
-        release_locks(root.id(), writes, writes.size());
-        abort_txn(AbortCause::kShutdown, 0, writes[i].oid);
+      const NodeId home = dsm::home_node(writes[i].oid, comm_.cluster_size());
+      if (net::reliable_wait(comm_, calls[i], home, reqs[i], policy)) continue;
+      const AbortCause cause = empty_wait_cause(calls[i]);
+      if (cause == AbortCause::kWatchdog) {
+        HYFLOW_WARN("ownership registration of object ", writes[i].oid.value,
+                    " timed out; rolling back the registered set");
+        for (auto& w : writes) {
+          if (w.owner == comm_.self()) continue;  // owner unchanged
+          net::RegisterOwnerRequest undo;
+          undo.oid = w.oid;
+          undo.new_owner = w.owner;
+          undo.version_clock = commit_clock;
+          auto undo_call =
+              comm_.request(dsm::home_node(w.oid, comm_.cluster_size()), undo);
+          net::reliable_wait(comm_, undo_call, dsm::home_node(w.oid, comm_.cluster_size()),
+                             undo, comm_.retry_policy());
+        }
       }
+      release_locks(root.id(), writes, writes.size());
+      abort_txn(cause, 0, writes[i].oid);
     }
   }
 
@@ -408,20 +468,21 @@ void TfaRuntime::lock_write_set(Transaction& root, std::vector<WriteTarget>& wri
         store_.unlock(writes[i].oid, txid);
         serve_waiters(writes[i].oid);
       } else {
-        net::AbortUnlock msg;
-        msg.oid = writes[i].oid;
-        msg.txid = txid;
-        comm_.post(writes[i].owner, msg);
+        release_remote_lock(writes[i].oid, txid, writes[i].owner);
       }
     }
   };
   const auto fail = [&](AbortCause cause, ObjectId oid) {
-    // Collect outstanding grants before releasing, so no lock leaks.
+    // Collect outstanding grants before releasing, so no lock leaks. A call
+    // that stays silent is treated as granted: the pessimistic unlock it
+    // triggers is a no-op if the lock was never taken.
     for (std::size_t i = 0; i < writes.size(); ++i) {
       if (!calls[i]) continue;
-      if (auto reply = calls[i]->wait()) {
+      if (auto reply = calls[i]->poll_for(comm_.retry_policy().base_timeout)) {
         const auto& resp = std::get<net::LockResponse>(reply->payload);
         if (resp.granted) locked[i] = true;
+      } else if (!calls[i]->closed()) {
+        locked[i] = true;  // unknown outcome: release pessimistically
       }
       calls[i].reset();
     }
@@ -462,9 +523,18 @@ void TfaRuntime::lock_write_set(Transaction& root, std::vector<WriteTarget>& wri
 
     for (std::size_t i = 0; i < writes.size(); ++i) {
       if (!calls[i]) continue;
-      const auto reply = calls[i]->wait();
+      net::LockRequest req;
+      req.oid = writes[i].oid;
+      req.txid = txid;
+      req.expected_clock = writes[i].entry->version.clock;
+      const auto reply =
+          net::reliable_wait(comm_, *calls[i], writes[i].owner, req, comm_.retry_policy());
+      if (!reply) {
+        const AbortCause cause = empty_wait_cause(*calls[i]);
+        calls[i].reset();
+        fail(cause, writes[i].oid);
+      }
       calls[i].reset();
-      if (!reply) fail(AbortCause::kShutdown, writes[i].oid);
       const auto& resp = std::get<net::LockResponse>(reply->payload);
       if (resp.granted) {
         locked[i] = true;
@@ -496,11 +566,21 @@ void TfaRuntime::release_locks(const TxnId txid, const std::vector<WriteTarget>&
       store_.unlock(w.oid, txid);
       serve_waiters(w.oid);
     } else {
-      net::AbortUnlock msg;
-      msg.oid = w.oid;
-      msg.txid = txid;
-      comm_.post(w.owner, msg);
+      release_remote_lock(w.oid, txid, w.owner);
     }
+  }
+}
+
+void TfaRuntime::release_remote_lock(ObjectId oid, TxnId txid, NodeId owner) {
+  // Acked, retried release: a lost AbortUnlock would leave the object
+  // locked at the owner with nobody left to unlock it.
+  net::AbortUnlock msg;
+  msg.oid = oid;
+  msg.txid = txid;
+  auto call = comm_.request(owner, msg);
+  if (!net::reliable_wait(comm_, call, owner, msg, comm_.retry_policy()) && !call.closed()) {
+    HYFLOW_WARN("abort-unlock of object ", oid.value, " at node ", owner,
+                " unacknowledged; lock release outcome unknown");
   }
 }
 
@@ -536,13 +616,28 @@ void TfaRuntime::publish_write_set(Transaction& root, std::vector<WriteTarget>& 
   }
   for (std::size_t i = 0; i < writes.size(); ++i) {
     if (calls[i]) {
-      if (auto reply = calls[i]->wait()) {
+      net::CommitRequest req;
+      req.oid = writes[i].oid;
+      req.txid = txid;
+      req.new_version = version;
+      req.new_owner = comm_.self();
+      // The hand-off must survive message loss: without it the old owner's
+      // copy stays locked and its parked requesters are stranded. The
+      // receiver's reply cache preserves the extracted queue, so a retried
+      // CommitRequest is answered with the queue captured at the real
+      // hand-over, never an empty one.
+      if (auto reply = net::reliable_wait(comm_, *calls[i], writes[i].owner, req,
+                                          comm_.retry_policy().scaled(3))) {
         auto& resp = std::get<net::CommitResponse>(reply->payload);
         // Inherit the previous owner's scheduling queue (Alg. 4: the node
         // invoking the committed transaction receives the requester lists).
         scheduler_.absorb_queue(writes[i].oid, std::move(resp.queue));
+      } else if (!calls[i]->closed()) {
+        HYFLOW_WARN("commit hand-off of object ", writes[i].oid.value, " to node ",
+                    comm_.self(), " unacknowledged; old owner copy stays locked");
       }
-      // No reply only happens at shutdown; the commit still stands.
+      // The commit stands either way: locks were held, reads validated and
+      // ownership registered before publication began.
     }
     serve_waiters(writes[i].oid);
   }
@@ -562,6 +657,7 @@ void TfaRuntime::handle_request(const net::Message& msg) {
   if (std::holds_alternative<net::CommitRequest>(msg.payload)) return on_commit(msg);
   if (std::holds_alternative<net::AbortUnlock>(msg.payload)) return on_abort_unlock(msg);
   if (std::holds_alternative<net::NotInterested>(msg.payload)) return on_not_interested(msg);
+  if (std::holds_alternative<net::GrantAck>(msg.payload)) return on_grant_ack(msg);
   HYFLOW_WARN("unhandled request payload: ", net::payload_name(msg.payload));
 }
 
@@ -681,6 +777,9 @@ void TfaRuntime::on_abort_unlock(const net::Message& msg) {
   if (auto slot = store_.get(req.oid); slot && slot->locked_by == req.txid)
     record_hold(slot->locked_at);
   store_.unlock(req.oid, req.txid);
+  // Acknowledge so the releaser's retry loop stops (the reply to a legacy
+  // one-way post is dropped as an uninteresting orphan).
+  comm_.reply(msg, net::Ack{req.oid});
   // "If Tk aborts, the objects that Tk is using will be released, and the
   // other transactions will obtain the objects." (§III-A)
   serve_waiters(req.oid);
@@ -689,8 +788,41 @@ void TfaRuntime::on_abort_unlock(const net::Message& msg) {
 void TfaRuntime::on_not_interested(const net::Message& msg) {
   const auto& req = std::get<net::NotInterested>(msg.payload);
   metrics_.add_not_interested();
+  {
+    std::scoped_lock lk(grants_mu_);
+    grants_.erase({req.oid.value, req.txid.value});
+  }
   scheduler_.remove_requester(req.oid, req.txid);
   serve_waiters(req.oid);
+}
+
+void TfaRuntime::on_grant_ack(const net::Message& msg) {
+  const auto& req = std::get<net::GrantAck>(msg.payload);
+  std::scoped_lock lk(grants_mu_);
+  grants_.erase({req.oid.value, req.txid.value});
+}
+
+void TfaRuntime::sweep_grants(SimTime now) {
+  std::vector<PendingGrant> expired;
+  {
+    std::scoped_lock lk(grants_mu_);
+    for (auto it = grants_.begin(); it != grants_.end();) {
+      if (it->second.deadline <= now) {
+        expired.push_back(it->second);
+        it = grants_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const PendingGrant& g : expired) {
+    // The grant (or its ack) is presumed lost: forget the silent requester
+    // and hand the object to the next one — a dropped Alg. 4 push must not
+    // strand the rest of the queue.
+    metrics_.add_grant_reforward();
+    scheduler_.remove_requester(g.oid, g.req.txid);
+    serve_waiters(g.oid);
+  }
 }
 
 void TfaRuntime::serve_waiters(ObjectId oid) {
@@ -729,6 +861,12 @@ void TfaRuntime::send_grant(const net::QueuedRequester& to, ObjectId oid,
   resp.object = obj;
   resp.version = version;
   resp.owner_cl = contention_.local_cl(oid, sim_now());
+  resp.handoff = true;  // requester must GrantAck or the grant is re-served
+  {
+    std::scoped_lock lk(grants_mu_);
+    grants_[{oid.value, to.txid.value}] =
+        PendingGrant{oid, to, sim_now() + cfg_.grant_ack_timeout};
+  }
   comm_.reply_routed(to.address, to.reply_msg_id, resp);
 }
 

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/contention.hpp"
@@ -96,6 +98,9 @@ struct TfaConfig {
   // an EWMA of observed hold durations); feeds the scheduler's
   // validator-remaining input.
   SimDuration default_validation_hold = sim_ms(4);
+  // An Alg. 4 grant the requester has not acknowledged within this window
+  // is presumed lost: the owner forgets it and re-serves the queue.
+  SimDuration grant_ack_timeout = sim_ms(12);
 };
 
 // Outcome of one root-transaction execution (including internal retries).
@@ -132,6 +137,11 @@ class TfaRuntime {
   // A granted object arrived for an abandoned call: tell the sender we are
   // no longer interested so it forwards the object to the next requester.
   void handle_orphan_reply(const net::Message& msg);
+
+  // Grant-loss recovery (Alg. 4 under an unreliable network): expires
+  // unacknowledged grants and re-serves the object's queue. Driven
+  // periodically by the cluster's maintenance thread.
+  void sweep_grants(SimTime now);
 
   NodeClock& clock() { return clock_; }
   StatsTable& stats() { return stats_; }
@@ -182,11 +192,16 @@ class TfaRuntime {
   void on_commit(const net::Message& msg);
   void on_abort_unlock(const net::Message& msg);
   void on_not_interested(const net::Message& msg);
+  void on_grant_ack(const net::Message& msg);
 
   // Push the current copy of `oid` to the scheduler's head group.
   void serve_waiters(ObjectId oid);
   void send_grant(const net::QueuedRequester& to, ObjectId oid, const ObjectSnapshot& obj,
                   Version version);
+
+  // Releases a remotely-held commit lock reliably (a lost release would
+  // wedge the object at the owner forever).
+  void release_remote_lock(ObjectId oid, TxnId txid, NodeId owner);
 
   // Lock-hold statistics: how long commits keep objects locked at this
   // node; the owner-side estimate behind ConflictContext::validator_remaining.
@@ -208,6 +223,15 @@ class TfaRuntime {
 
   mutable std::mutex hold_mu_;
   Ewma hold_ewma_{0.2};
+
+  // Outstanding Alg. 4 grants awaiting their GrantAck, keyed (oid, txid).
+  struct PendingGrant {
+    ObjectId oid;
+    net::QueuedRequester req;
+    SimTime deadline = 0;
+  };
+  std::mutex grants_mu_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingGrant> grants_;
 };
 
 }  // namespace hyflow::tfa

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/comm.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 
@@ -92,6 +93,10 @@ struct TestNet {
     }
     network.start();
   }
+  // Stop (and join) the delivery threads before the members they touch —
+  // `mu`/`inboxes` — are destroyed; members destruct in reverse order, so
+  // without this the handlers race the fixture teardown.
+  ~TestNet() { network.stop(); }
   std::vector<Message> inbox(NodeId id) {
     std::scoped_lock lk(mu);
     return inboxes[id];
@@ -252,6 +257,82 @@ TEST(PendingCalls, UnknownReplyIsOrphan) {
   Message reply;
   reply.reply_to = 999;
   EXPECT_FALSE(pending.deliver(reply));
+}
+
+TEST(PendingCalls, AbandonRaceNeverLosesAReply) {
+  // Regression: a reply racing a timeout-abandon must end up exactly one
+  // place — returned by wait() or reported as an orphan by deliver() —
+  // never accepted by deliver() yet unseen by wait() (a lost lock grant).
+  // The 1-tick timeout against an immediate deliver makes both interleavings
+  // common across iterations.
+  for (int i = 0; i < 300; ++i) {
+    PendingCalls pending;
+    const std::uint64_t id = 100 + static_cast<std::uint64_t>(i);
+    auto call = pending.open(id);
+    std::promise<bool> accepted;
+    std::jthread replier([&pending, id, &accepted] {
+      Message reply;
+      reply.reply_to = id;
+      accepted.set_value(pending.deliver(reply));
+    });
+    const auto got = pending.wait(call, id, 1);  // 1ns: expires immediately
+    const bool delivered = accepted.get_future().get();
+    EXPECT_FALSE(delivered && !got.has_value())
+        << "iteration " << i << ": deliver() accepted the reply but wait() lost it";
+    if (got) pending.done(id);
+    // Either way, any further reply must be an orphan now.
+    Message late;
+    late.reply_to = id;
+    if (!got) {
+      EXPECT_FALSE(pending.deliver(late));
+    }
+  }
+}
+
+TEST(Network, StopCountsAndReportsInFlightMessages) {
+  // Messages still ticking in the timer queue when stop() cuts them off
+  // must be accounted, not silently discarded.
+  TopologyConfig cfg;
+  cfg.nodes = 2;
+  cfg.min_delay = sim_ms(200);  // far enough out that stop() beats delivery
+  cfg.max_delay = sim_ms(200);
+  cfg.local_delay = sim_ms(200);
+  Network net{Topology(cfg)};
+  net.register_handler(0, [](Message) {});
+  net.register_handler(1, [](Message) {});
+  net.start();
+  for (int i = 0; i < 10; ++i) net.send(make_msg(0, 1));
+  net.stop();
+  EXPECT_EQ(net.stats().dropped_on_stop.load(), 10u);
+  EXPECT_EQ(net.stats().messages.load(), 10u);
+}
+
+TEST(Network, CleanStopDropsNothing) {
+  TestNet net(2);
+  for (int i = 0; i < 10; ++i) net.network.send(make_msg(0, 1));
+  net.network.wait_idle();
+  net.network.stop();
+  EXPECT_EQ(net.network.stats().dropped_on_stop.load(), 0u);
+}
+
+TEST(RetryPolicy, TimeoutsGrowAndStayBounded) {
+  RetryPolicy policy;
+  policy.base_timeout = sim_ms(8);
+  policy.max_timeout = sim_ms(50);
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    SimDuration prev = 0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const SimDuration t = policy.timeout_for(attempt, id);
+      EXPECT_GE(t, static_cast<SimDuration>(static_cast<double>(policy.base_timeout) * 0.74));
+      EXPECT_LE(t, static_cast<SimDuration>(static_cast<double>(policy.max_timeout) * 1.26));
+      // Deterministic: same (attempt, id) always yields the same timeout.
+      EXPECT_EQ(t, policy.timeout_for(attempt, id));
+      if (attempt >= 4) {
+        EXPECT_GT(t, prev / 2);  // capped region stays high
+      }
+      prev = t;
+    }
+  }
 }
 
 }  // namespace

@@ -140,5 +140,57 @@ TEST_F(NodePair, WaitForTimesOutCleanly) {
   cluster->network().wait_idle();  // the orphan reply is absorbed
 }
 
+TEST_F(NodePair, StaleOwnerHintRetriesViaWrongOwner) {
+  // The stale-directory path of Alg. 2: node 0 caches node 1 as the owner,
+  // the object then migrates to node 2 (node 2's write commit registers it
+  // there and evicts node 1's copy), and node 0's next write must bounce
+  // off node 1 with wrong_owner, re-resolve, and still commit.
+  const ObjectId oid{57};
+  cluster->create_object(std::make_unique<Box>(oid, 5), 1);
+
+  // Prime node 0's owner hint with a read served by node 1.
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    EXPECT_EQ(tx.read<Box>(oid).value, 5);
+  }).committed);
+
+  // Move ownership: a write from node 2 makes node 2 the owner.
+  ASSERT_TRUE(cluster->execute(2, 1, [&](tfa::Txn& tx) {
+    tx.write<Box>(oid).value = 6;
+  }).committed);
+  cluster->network().wait_idle();
+
+  const auto before = cluster->total_metrics();
+  ASSERT_TRUE(cluster->execute(0, 1, [&](tfa::Txn& tx) {
+    tx.write<Box>(oid).value += 10;
+  }).committed);
+  cluster->network().wait_idle();
+  const auto after = cluster->total_metrics();
+  EXPECT_GT(after.wrong_owner_retries, before.wrong_owner_retries)
+      << "the stale hint should have forced at least one wrong-owner retry";
+  EXPECT_EQ(object_cast<Box>(*cluster->committed_copy(oid)).value, 16);
+}
+
+TEST_F(NodePair, DuplicateRequestIsAnsweredFromTheReplyCache) {
+  // Receiver-side dedup: re-sending a request under its original msg_id
+  // must not re-execute the handler — the cached reply is replayed and the
+  // dedup counter ticks.
+  cluster->node(1).directory().publish(ObjectId{58}, 2);
+  const net::FindOwnerRequest req{ObjectId{58}};
+  auto call = cluster->node(0).request(1, req);
+  const auto first = call.wait_for(sim_ms(100));
+  ASSERT_TRUE(first.has_value());
+
+  const auto before = cluster->node(1).metrics().snapshot();
+  cluster->node(0).resend(1, call.id(), /*attempt=*/1, req);
+  const auto second = call.wait_for(sim_ms(100));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(std::get<net::FindOwnerResponse>(second->payload).owner, 2u);
+  cluster->network().wait_idle();
+  const auto after = cluster->node(1).metrics().snapshot();
+  EXPECT_EQ(after.dedup_hits, before.dedup_hits + 1);
+  // And the resend itself is counted by the sender.
+  EXPECT_GT(cluster->node(0).metrics().snapshot().rpc_retries, 0u);
+}
+
 }  // namespace
 }  // namespace hyflow::runtime

@@ -11,6 +11,11 @@
 // --local-work-us(300) --threshold(tuned per workload)
 // --min-delay-us(50) --max-delay-us(2500) --jitter(0.0)
 // --warmup-ms(150) --duration-ms(400) --seed(42) --adaptive(false)
+//
+// Fault injection (see docs/EXPERIMENTS.md): --fault-drop(0.0)
+// --fault-dup(0.0) --fault-delay(0.0) --fault-delay-spike-us(2000)
+// --fault-seed(1) --fault-partition-start-ms/-end-ms/-cut
+// --fault-crash-node/-start-ms/-end-ms
 #include <cstdio>
 
 #include <thread>
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   cfg.cluster.topology.jitter = cli.get_double("jitter", 0.0);
   cfg.cluster.topology.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   cfg.cluster.seed = cfg.cluster.topology.seed;
+  cfg.cluster.fault = net::FaultPlan::from_config(cli);
   cfg.warmup = sim_ms(cli.get_int("warmup-ms", 150));
   cfg.measure = sim_ms(cli.get_int("duration-ms", 400));
 
