@@ -10,10 +10,10 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
 #include "dsm/object_id.hpp"
+#include "util/mutex.hpp"
 #include "util/time.hpp"
 
 namespace hyflow::core {
@@ -39,12 +39,12 @@ class ContentionTracker {
     TxnId txid;
     SimTime at;
   };
-  void prune(std::deque<Sample>& samples, SimTime now) const;
+  void prune(std::deque<Sample>& samples, SimTime now) const REQUIRES(mu_);
 
   SimDuration window_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kContention, "ContentionTracker::mu"};
   // mutable: reads prune expired samples in place.
-  mutable std::unordered_map<ObjectId, std::deque<Sample>> recent_;
+  mutable std::unordered_map<ObjectId, std::deque<Sample>> recent_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyflow::core

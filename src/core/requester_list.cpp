@@ -49,7 +49,7 @@ void RequesterList::maybe_reset() {
 }
 
 std::vector<net::QueuedRequester> SchedulingTable::pop_head_group(ObjectId oid) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = lists_.find(oid);
   if (it == lists_.end()) return {};
   auto group = it->second.pop_head_group();
@@ -58,7 +58,7 @@ std::vector<net::QueuedRequester> SchedulingTable::pop_head_group(ObjectId oid) 
 }
 
 std::vector<net::QueuedRequester> SchedulingTable::drain(ObjectId oid) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = lists_.find(oid);
   if (it == lists_.end()) return {};
   auto all = it->second.drain();
@@ -67,7 +67,7 @@ std::vector<net::QueuedRequester> SchedulingTable::drain(ObjectId oid) {
 }
 
 bool SchedulingTable::remove(ObjectId oid, TxnId txid) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = lists_.find(oid);
   if (it == lists_.end()) return false;
   const bool removed = it->second.remove_duplicate(txid);
@@ -76,13 +76,13 @@ bool SchedulingTable::remove(ObjectId oid, TxnId txid) {
 }
 
 std::size_t SchedulingTable::depth(ObjectId oid) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = lists_.find(oid);
   return it == lists_.end() ? 0 : it->second.size();
 }
 
 std::size_t SchedulingTable::total_queued() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   std::size_t total = 0;
   for (const auto& [oid, list] : lists_) total += list.size();
   return total;

@@ -15,12 +15,12 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "dsm/object_id.hpp"
 #include "net/payloads.hpp"
+#include "util/mutex.hpp"
 #include "util/time.hpp"
 
 namespace hyflow::core {
@@ -63,13 +63,16 @@ class RequesterList {
 };
 
 // scheduling_List: hash table from object to its requester list. One mutex
-// guards the table and the lists; all operations are short.
+// guards the table and the lists; all operations are short. RequesterList
+// itself carries no annotations — its instances live inside `lists_` and are
+// only ever reached through `mu_` (an ownership relation GUARDED_BY cannot
+// express across objects; see docs/CONCURRENCY.md).
 class SchedulingTable {
  public:
   // Runs `fn(list)` with the object's list (created on demand) under lock.
   template <typename Fn>
   auto with_list(ObjectId oid, Fn&& fn) {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return fn(lists_[oid]);
   }
 
@@ -81,8 +84,8 @@ class SchedulingTable {
   std::size_t total_queued() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, RequesterList> lists_;
+  mutable Mutex mu_{LockRank::kSchedulerQueue, "SchedulingTable::mu"};
+  std::unordered_map<ObjectId, RequesterList> lists_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyflow::core

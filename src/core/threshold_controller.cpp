@@ -27,25 +27,27 @@ void ThresholdController::note_commit(SimTime now) {
 }
 
 void ThresholdController::rollover(SimTime now) {
-  std::unique_lock lk(rollover_mu_, std::try_to_lock);
-  if (!lk.owns_lock()) return;  // another thread is rolling this epoch over
+  // Explicit try_lock/unlock (not a std guard): the thread-safety analysis
+  // follows this pattern, and a guard cannot express "bail out if busy".
+  if (!rollover_mu_.try_lock()) return;  // another thread is rolling this epoch over
   const SimTime start = epoch_start_.load(std::memory_order_relaxed);
-  if (now - start < epoch_) return;  // lost the race to a finished rollover
+  if (now - start >= epoch_) {  // else: lost the race to a finished rollover
+    const double secs = static_cast<double>(now - start) * 1e-9;
+    const double rate =
+        static_cast<double>(commits_in_epoch_.exchange(0, std::memory_order_relaxed)) / secs;
+    epoch_start_.store(now, std::memory_order_relaxed);
+    epochs_.fetch_add(1, std::memory_order_relaxed);
 
-  const double secs = static_cast<double>(now - start) * 1e-9;
-  const double rate =
-      static_cast<double>(commits_in_epoch_.exchange(0, std::memory_order_relaxed)) / secs;
-  epoch_start_.store(now, std::memory_order_relaxed);
-  epochs_.fetch_add(1, std::memory_order_relaxed);
+    if (last_rate_ >= 0.0 && rate < last_rate_) direction_ = -direction_;
+    last_rate_ = rate;
 
-  if (last_rate_ >= 0.0 && rate < last_rate_) direction_ = -direction_;
-  last_rate_ = rate;
-
-  const std::uint32_t cur = threshold_.load(std::memory_order_relaxed);
-  const std::int64_t next = static_cast<std::int64_t>(cur) + direction_;
-  threshold_.store(
-      static_cast<std::uint32_t>(std::clamp<std::int64_t>(next, min_threshold_, max_threshold_)),
-      std::memory_order_relaxed);
+    const std::uint32_t cur = threshold_.load(std::memory_order_relaxed);
+    const std::int64_t next = static_cast<std::int64_t>(cur) + direction_;
+    threshold_.store(static_cast<std::uint32_t>(
+                         std::clamp<std::int64_t>(next, min_threshold_, max_threshold_)),
+                     std::memory_order_relaxed);
+  }
+  rollover_mu_.unlock();
 }
 
 }  // namespace hyflow::core

@@ -12,8 +12,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "util/mutex.hpp"
 #include "util/time.hpp"
 
 namespace hyflow::core {
@@ -35,7 +35,7 @@ class ThresholdController {
   std::uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
 
  private:
-  void rollover(SimTime now);
+  void rollover(SimTime now) EXCLUDES(rollover_mu_);
 
   std::atomic<std::uint32_t> threshold_;
   const std::uint32_t min_threshold_;
@@ -46,9 +46,9 @@ class ThresholdController {
   std::atomic<std::uint64_t> epochs_{0};
   std::atomic<SimTime> epoch_start_{0};
 
-  std::mutex rollover_mu_;
-  double last_rate_ = -1.0;
-  int direction_ = +1;
+  Mutex rollover_mu_{LockRank::kThreshold, "ThresholdController::rollover_mu"};
+  double last_rate_ GUARDED_BY(rollover_mu_) = -1.0;
+  int direction_ GUARDED_BY(rollover_mu_) = +1;
 };
 
 }  // namespace hyflow::core

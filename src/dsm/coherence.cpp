@@ -8,7 +8,7 @@ namespace hyflow::dsm {
 std::optional<NodeId> OwnerResolver::find_owner(ObjectId oid) {
   if (store_.owns(oid)) return comm_.self();
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = hints_.find(oid);
     if (it != hints_.end()) return it->second;
   }
@@ -27,17 +27,17 @@ std::optional<NodeId> OwnerResolver::find_owner(ObjectId oid) {
 }
 
 void OwnerResolver::invalidate(ObjectId oid) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   hints_.erase(oid);
 }
 
 void OwnerResolver::note_owner(ObjectId oid, NodeId owner) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   hints_[oid] = owner;
 }
 
 std::size_t OwnerResolver::hint_count() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return hints_.size();
 }
 

@@ -8,13 +8,13 @@
 // lookup.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "dsm/object_id.hpp"
 #include "dsm/object_store.hpp"
 #include "net/comm.hpp"
+#include "util/mutex.hpp"
 
 namespace hyflow::dsm {
 
@@ -38,8 +38,8 @@ class OwnerResolver {
  private:
   net::Comm& comm_;
   const ObjectStore& store_;
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, NodeId> hints_;
+  mutable Mutex mu_{LockRank::kOwnerHints, "OwnerResolver::mu"};
+  std::unordered_map<ObjectId, NodeId> hints_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyflow::dsm

@@ -5,14 +5,14 @@
 namespace hyflow::dsm {
 
 void DirectoryShard::publish(ObjectId oid, NodeId owner) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = entries_.emplace(oid, Entry{owner, 0});
   HYFLOW_ASSERT_MSG(inserted, "object published twice");
   (void)it;
 }
 
 std::optional<NodeId> DirectoryShard::lookup(ObjectId oid) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(oid);
   if (it == entries_.end()) return std::nullopt;
   return it->second.owner;
@@ -20,7 +20,7 @@ std::optional<NodeId> DirectoryShard::lookup(ObjectId oid) const {
 
 bool DirectoryShard::register_owner(ObjectId oid, NodeId new_owner,
                                     std::uint64_t version_clock) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(oid);
   if (it == entries_.end()) {
     entries_.emplace(oid, Entry{new_owner, version_clock});
@@ -33,7 +33,7 @@ bool DirectoryShard::register_owner(ObjectId oid, NodeId new_owner,
 }
 
 std::size_t DirectoryShard::size() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

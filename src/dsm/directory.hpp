@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "dsm/object_id.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace hyflow::dsm {
@@ -44,8 +44,9 @@ class DirectoryShard {
     NodeId owner = kInvalidNode;
     std::uint64_t version_clock = 0;
   };
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, Entry> entries_;
+  // Outermost rank: ownership registration precedes slot/queue hand-off.
+  mutable Mutex mu_{LockRank::kDirectory, "DirectoryShard::mu"};
+  std::unordered_map<ObjectId, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyflow::dsm

@@ -11,7 +11,6 @@
 // handful of threads — so sharding buys nothing at this scale).
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +18,7 @@
 #include "dsm/object.hpp"
 #include "dsm/object_id.hpp"
 #include "dsm/version.hpp"
+#include "util/mutex.hpp"
 #include "util/time.hpp"
 
 namespace hyflow::dsm {
@@ -76,8 +76,8 @@ class ObjectStore {
     TxnId locked_by = kInvalidTxn;
     SimTime locked_at = 0;
   };
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, Slot> slots_;
+  mutable Mutex mu_{LockRank::kObjectStore, "ObjectStore::mu"};
+  std::unordered_map<ObjectId, Slot> slots_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyflow::dsm

@@ -50,7 +50,7 @@ class RequestCall {
   // True once close_all() hit this call — distinguishes "cluster shutting
   // down" from "reply genuinely lost" when wait_for() returns nothing.
   bool closed() const {
-    std::scoped_lock lk(call_->mu);
+    MutexLock lk(call_->mu);
     return call_->closed;
   }
 

@@ -39,6 +39,14 @@ void Network::start() {
 void Network::stop() {
   if (!running_.exchange(false)) return;
   for (auto& t : threads_) t.request_stop();
+  // Notify under timer_mu_: the dispatcher's wake condition includes
+  // st.stop_requested(), which is NOT written under the mutex, so a bare
+  // notify could land between the dispatcher's check and its wait and be
+  // lost forever — stop() would then hang joining a sleeper that never
+  // wakes. Taking the lock first serialises this notify against the check.
+  {
+    MutexLock lk(timer_mu_);
+  }
   timer_cv_.notify_all();
   for (auto& lane : lanes_) lane->close();
   threads_.clear();  // jthread joins on destruction
@@ -47,7 +55,7 @@ void Network::stop() {
   // never ran. Silent discards here used to mask protocol bugs.
   std::uint64_t cut = 0;
   {
-    std::scoped_lock lk(timer_mu_);
+    MutexLock lk(timer_mu_);
     cut += timer_queue_.size();
     while (!timer_queue_.empty()) timer_queue_.pop();
   }
@@ -91,7 +99,7 @@ std::uint64_t Network::send(Message m) {
 void Network::schedule(Message m, SimTime deliver_at) {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::scoped_lock lk(timer_mu_);
+    MutexLock lk(timer_mu_);
     timer_queue_.push(
         Timed{deliver_at, next_seq_.fetch_add(1, std::memory_order_relaxed), std::move(m)});
   }
@@ -99,10 +107,13 @@ void Network::schedule(Message m, SimTime deliver_at) {
 }
 
 void Network::dispatcher_loop(std::stop_token st) {
-  std::unique_lock lk(timer_mu_);
+  MutexLock lk(timer_mu_);
   while (!st.stop_requested()) {
     if (timer_queue_.empty()) {
-      timer_cv_.wait(lk, [&] { return st.stop_requested() || !timer_queue_.empty(); });
+      // Plain wait in a loop (no predicate lambda — the analysis cannot see
+      // guarded accesses inside one): spurious wakeups re-check queue and
+      // stop token at the top of the loop; stop() notifies under timer_mu_.
+      timer_cv_.wait(lk);
       continue;
     }
     const SimTime next_at = timer_queue_.top().deliver_at;

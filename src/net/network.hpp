@@ -13,7 +13,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <memory>
 #include <thread>
@@ -23,6 +22,7 @@
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "util/blocking_queue.hpp"
+#include "util/mutex.hpp"
 
 namespace hyflow::net {
 
@@ -102,9 +102,10 @@ class Network {
   TransportStats stats_;
   FaultInjector faults_;
 
-  mutable std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> timer_queue_;
+  mutable Mutex timer_mu_{LockRank::kNetTimer, "Network::timer_mu"};
+  std::condition_variable_any timer_cv_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> timer_queue_
+      GUARDED_BY(timer_mu_);
 
   // One lane per delivery thread; a node's messages always ride the same
   // lane (to % lanes), so handler invocation per node is serialised and

@@ -3,7 +3,7 @@
 namespace hyflow::net {
 
 ReplyCache::Lookup ReplyCache::admit(std::uint64_t msg_id) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = entries_.try_emplace(msg_id, std::nullopt);
   if (inserted) {
     fifo_.push_back(msg_id);
@@ -14,13 +14,13 @@ ReplyCache::Lookup ReplyCache::admit(std::uint64_t msg_id) {
 }
 
 void ReplyCache::record_reply(std::uint64_t msg_id, const Payload& payload) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(msg_id);
   if (it != entries_.end()) it->second = payload;
 }
 
 std::size_t ReplyCache::size() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

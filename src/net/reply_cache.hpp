@@ -16,11 +16,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "net/payloads.hpp"
+#include "util/mutex.hpp"
 
 namespace hyflow::net {
 
@@ -46,12 +46,12 @@ class ReplyCache {
   std::size_t size() const;
 
  private:
-  void evict_locked();
+  void evict_locked() REQUIRES(mu_);
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::optional<Payload>> entries_;
-  std::deque<std::uint64_t> fifo_;  // insertion order for eviction
+  mutable Mutex mu_{LockRank::kReplyCache, "ReplyCache::mu"};
+  std::unordered_map<std::uint64_t, std::optional<Payload>> entries_ GUARDED_BY(mu_);
+  std::deque<std::uint64_t> fifo_ GUARDED_BY(mu_);  // insertion order for eviction
 };
 
 }  // namespace hyflow::net

@@ -1,13 +1,16 @@
 #include "net/rpc.hpp"
 
+#include <chrono>
+
 #include "util/assert.hpp"
 
 namespace hyflow::net {
 
 PendingCalls::CallPtr PendingCalls::open(std::uint64_t msg_id) {
   auto call = std::make_shared<CallState>();
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   if (closed_) {
+    MutexLock call_lk(call->mu);
     call->closed = true;
     return call;
   }
@@ -19,13 +22,13 @@ PendingCalls::CallPtr PendingCalls::open(std::uint64_t msg_id) {
 bool PendingCalls::deliver(Message reply) {
   CallPtr call;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = calls_.find(reply.reply_to);
     if (it == calls_.end()) return false;  // orphan
     call = it->second;                     // registration stays: multi-reply
   }
   {
-    std::scoped_lock lk(call->mu);
+    MutexLock lk(call->mu);
     // The map entry was found, but wait() may have abandoned the call
     // between our map lookup and here; `abandoned` is ordered by call->mu,
     // so exactly one side claims the reply.
@@ -39,26 +42,32 @@ bool PendingCalls::deliver(Message reply) {
 std::optional<Message> PendingCalls::wait(const CallPtr& call, std::uint64_t msg_id,
                                           std::optional<SimDuration> timeout,
                                           bool abandon_on_timeout) {
-  std::unique_lock lk(call->mu);
-  const auto ready = [&] { return !call->replies.empty() || call->closed; };
-  if (timeout && !call->cv.wait_for(lk, to_chrono(*timeout), ready)) {
-    if (!abandon_on_timeout) return std::nullopt;  // registration survives
-    // Timed out: abandon. A deliver() may be between "found the entry" and
-    // "queued the reply", so after deregistering re-check under call->mu;
-    // marking `abandoned` under the same lock closes the race where the
-    // reply lands after this re-check (it becomes an orphan at deliver()).
-    lk.unlock();
-    {
-      std::scoped_lock map_lk(mu_);
-      calls_.erase(msg_id);
+  MutexLock lk(call->mu);
+  if (timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + to_chrono(*timeout);
+    bool timed_out = false;
+    while (call->replies.empty() && !call->closed && !timed_out) {
+      timed_out = call->cv.wait_until(lk, deadline) == std::cv_status::timeout;
     }
-    lk.lock();
-    if (call->replies.empty()) {
-      call->abandoned = true;
-      return std::nullopt;  // truly abandoned
+    if (call->replies.empty() && !call->closed) {
+      if (!abandon_on_timeout) return std::nullopt;  // registration survives
+      // Timed out: abandon. A deliver() may be between "found the entry" and
+      // "queued the reply", so after deregistering re-check under call->mu;
+      // marking `abandoned` under the same lock closes the race where the
+      // reply lands after this re-check (it becomes an orphan at deliver()).
+      lk.unlock();
+      {
+        MutexLock map_lk(mu_);
+        calls_.erase(msg_id);
+      }
+      lk.lock();
+      if (call->replies.empty()) {
+        call->abandoned = true;
+        return std::nullopt;  // truly abandoned
+      }
     }
-  } else if (!timeout) {
-    call->cv.wait(lk, ready);
+  } else {
+    while (call->replies.empty() && !call->closed) call->cv.wait(lk);
   }
   if (call->replies.empty()) return std::nullopt;  // closed
   Message out = std::move(call->replies.front());
@@ -67,20 +76,20 @@ std::optional<Message> PendingCalls::wait(const CallPtr& call, std::uint64_t msg
 }
 
 void PendingCalls::done(std::uint64_t msg_id) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   calls_.erase(msg_id);
 }
 
 void PendingCalls::close_all() {
   std::unordered_map<std::uint64_t, CallPtr> snapshot;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
     snapshot.swap(calls_);
   }
   for (auto& [id, call] : snapshot) {
     {
-      std::scoped_lock lk(call->mu);
+      MutexLock lk(call->mu);
       call->closed = true;
     }
     call->cv.notify_all();
@@ -88,12 +97,12 @@ void PendingCalls::close_all() {
 }
 
 void PendingCalls::reopen() {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   closed_ = false;
 }
 
 std::size_t PendingCalls::open_count() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return calls_.size();
 }
 

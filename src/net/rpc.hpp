@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "net/message.hpp"
+#include "util/mutex.hpp"
 #include "util/time.hpp"
 
 namespace hyflow::net {
@@ -32,14 +32,14 @@ namespace hyflow::net {
 class PendingCalls {
  public:
   struct CallState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> replies;
-    bool closed = false;
+    Mutex mu{LockRank::kCallState, "CallState::mu"};
+    std::condition_variable_any cv;
+    std::deque<Message> replies GUARDED_BY(mu);
+    bool closed GUARDED_BY(mu) = false;
     // Set (under mu) when a timeout abandoned the call. deliver() re-checks
     // it after queueing so a reply racing the abandon is either returned by
     // wait() or reported as an orphan — never both, never neither.
-    bool abandoned = false;
+    bool abandoned GUARDED_BY(mu) = false;
   };
   using CallPtr = std::shared_ptr<CallState>;
 
@@ -75,14 +75,17 @@ class PendingCalls {
 
   // True between close_all() and reopen().
   bool closed() const {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, CallPtr> calls_;
-  bool closed_ = false;
+  // Registry rank sits below kCallState: deliver()/wait() touch the registry
+  // and a call's own lock in separate critical sections, but the declared
+  // order keeps any future nesting registry -> call.
+  mutable Mutex mu_{LockRank::kCallRegistry, "PendingCalls::mu"};
+  std::unordered_map<std::uint64_t, CallPtr> calls_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyflow::net

@@ -10,7 +10,7 @@ StatsTable::StatsTable(SimDuration default_duration, SimDuration bucket)
 }
 
 SimDuration StatsTable::expected_duration(std::uint32_t profile) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(profile);
   if (it == entries_.end() || !it->second.ewma.seeded()) return default_duration_;
   return static_cast<SimDuration>(it->second.ewma.value());
@@ -18,7 +18,7 @@ SimDuration StatsTable::expected_duration(std::uint32_t profile) const {
 
 void StatsTable::record_commit(std::uint32_t profile, SimDuration duration) {
   if (duration <= 0) return;
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   Entry& e = entries_[profile];
   e.ewma.add(static_cast<double>(duration));
   // Age the filter before it saturates into all-positives.
@@ -27,14 +27,14 @@ void StatsTable::record_commit(std::uint32_t profile, SimDuration duration) {
 }
 
 bool StatsTable::recently_observed(std::uint32_t profile, SimDuration duration) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(profile);
   if (it == entries_.end()) return false;
   return it->second.recent.maybe_contains(static_cast<std::uint64_t>(duration / bucket_));
 }
 
 std::size_t StatsTable::profile_count() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

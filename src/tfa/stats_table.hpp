@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "util/bloom_filter.hpp"
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -50,8 +50,8 @@ class StatsTable {
 
   SimDuration default_duration_;
   SimDuration bucket_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint32_t, Entry> entries_;
+  mutable Mutex mu_{LockRank::kStatsTable, "StatsTable::mu"};
+  std::unordered_map<std::uint32_t, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyflow::tfa

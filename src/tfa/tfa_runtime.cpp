@@ -789,7 +789,7 @@ void TfaRuntime::on_not_interested(const net::Message& msg) {
   const auto& req = std::get<net::NotInterested>(msg.payload);
   metrics_.add_not_interested();
   {
-    std::scoped_lock lk(grants_mu_);
+    MutexLock lk(grants_mu_);
     grants_.erase({req.oid.value, req.txid.value});
   }
   scheduler_.remove_requester(req.oid, req.txid);
@@ -798,14 +798,14 @@ void TfaRuntime::on_not_interested(const net::Message& msg) {
 
 void TfaRuntime::on_grant_ack(const net::Message& msg) {
   const auto& req = std::get<net::GrantAck>(msg.payload);
-  std::scoped_lock lk(grants_mu_);
+  MutexLock lk(grants_mu_);
   grants_.erase({req.oid.value, req.txid.value});
 }
 
 void TfaRuntime::sweep_grants(SimTime now) {
   std::vector<PendingGrant> expired;
   {
-    std::scoped_lock lk(grants_mu_);
+    MutexLock lk(grants_mu_);
     for (auto it = grants_.begin(); it != grants_.end();) {
       if (it->second.deadline <= now) {
         expired.push_back(it->second);
@@ -838,12 +838,12 @@ void TfaRuntime::record_hold(SimTime locked_at) {
   if (locked_at <= 0) return;
   const SimDuration held = sim_now() - locked_at;
   if (held <= 0) return;
-  std::scoped_lock lk(hold_mu_);
+  MutexLock lk(hold_mu_);
   hold_ewma_.add(static_cast<double>(held));
 }
 
 SimDuration TfaRuntime::expected_hold() const {
-  std::scoped_lock lk(hold_mu_);
+  MutexLock lk(hold_mu_);
   if (!hold_ewma_.seeded()) return cfg_.default_validation_hold;
   return static_cast<SimDuration>(hold_ewma_.value());
 }
@@ -863,7 +863,7 @@ void TfaRuntime::send_grant(const net::QueuedRequester& to, ObjectId oid,
   resp.owner_cl = contention_.local_cl(oid, sim_now());
   resp.handoff = true;  // requester must GrantAck or the grant is re-served
   {
-    std::scoped_lock lk(grants_mu_);
+    MutexLock lk(grants_mu_);
     grants_[{oid.value, to.txid.value}] =
         PendingGrant{oid, to, sim_now() + cfg_.grant_ack_timeout};
   }

@@ -20,7 +20,6 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "core/contention.hpp"
@@ -31,6 +30,7 @@
 #include "net/comm.hpp"
 #include "runtime/metrics.hpp"
 #include "tfa/abort.hpp"
+#include "util/mutex.hpp"
 #include "tfa/node_clock.hpp"
 #include "tfa/stats_table.hpp"
 #include "tfa/transaction.hpp"
@@ -221,8 +221,8 @@ class TfaRuntime {
   runtime::NodeMetrics& metrics_;
   std::atomic<std::uint64_t> txn_seq_{1};
 
-  mutable std::mutex hold_mu_;
-  Ewma hold_ewma_{0.2};
+  mutable Mutex hold_mu_{LockRank::kHoldStats, "TfaRuntime::hold_mu"};
+  Ewma hold_ewma_ GUARDED_BY(hold_mu_){0.2};
 
   // Outstanding Alg. 4 grants awaiting their GrantAck, keyed (oid, txid).
   struct PendingGrant {
@@ -230,8 +230,9 @@ class TfaRuntime {
     net::QueuedRequester req;
     SimTime deadline = 0;
   };
-  std::mutex grants_mu_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingGrant> grants_;
+  Mutex grants_mu_{LockRank::kGrantTable, "TfaRuntime::grants_mu"};
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingGrant> grants_
+      GUARDED_BY(grants_mu_);
 };
 
 }  // namespace hyflow::tfa

@@ -1,25 +1,34 @@
-// Unbounded blocking MPMC queue (mutex + condition variable, CP.42: every
-// wait has a predicate). Used for node inboxes and the network dispatcher.
+// Unbounded blocking MPMC queue (mutex + condition variable; every wait
+// re-checks its predicate in a loop, CP.42). Used for node inboxes and the
+// network dispatcher.
 //
 // `close()` wakes all waiters; `pop()` then drains remaining items and
 // finally returns nullopt — the standard shutdown protocol for worker loops.
+//
+// The queue's Mutex is an annotated capability (rank kInbox by default);
+// waits go through std::condition_variable_any on the MutexLock guard so the
+// thread-safety analysis tracks the capability across the wait.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.hpp"
 
 namespace hyflow {
 
 template <typename T>
 class BlockingQueue {
  public:
+  explicit BlockingQueue(LockRank rank = LockRank::kInbox)
+      : mu_(rank, "BlockingQueue::mu") {}
+
   // Returns false if the queue is closed (item is dropped).
   bool push(T item) {
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -29,8 +38,8 @@ class BlockingQueue {
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    MutexLock lk(mu_);
+    while (items_.empty() && !closed_) cv_.wait(lk);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -39,7 +48,7 @@ class BlockingQueue {
 
   // Non-blocking variant.
   std::optional<T> try_pop() {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -48,27 +57,27 @@ class BlockingQueue {
 
   void close() {
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyflow

@@ -1,0 +1,70 @@
+#include "util/lock_rank.hpp"
+
+#ifdef HYFLOW_LOCK_RANK_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace hyflow::lock_rank {
+
+namespace {
+
+struct Held {
+  const void* lock;
+  int rank;
+  const char* name;
+  const char* file;
+  unsigned line;
+};
+
+// Per-thread stack of ranked locks currently held. Depth is tiny (the
+// hierarchy is ~3 levels deep), so a vector with a reserved inline-ish
+// capacity never reallocates on the hot path after the first acquisition.
+thread_local std::vector<Held> t_held;
+
+[[noreturn]] void violation(const Held& held, LockRank rank, const char* name,
+                            const std::source_location& loc) {
+  std::fprintf(stderr,
+               "hyflow lock-rank violation: acquiring \"%s\" (rank %d) at %s:%u\n"
+               "  while holding \"%s\" (rank %d) acquired at %s:%u\n"
+               "  lock acquisition order must follow docs/CONCURRENCY.md "
+               "(ranks strictly increase); aborting\n",
+               name, static_cast<int>(rank), loc.file_name(), loc.line(), held.name,
+               held.rank, held.file, held.line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(const void* lock, LockRank rank, const char* name,
+                  const std::source_location& loc, bool blocking) {
+  if (rank == LockRank::kUnranked) return;
+  const int r = static_cast<int>(rank);
+  if (blocking) {
+    for (const Held& h : t_held) {
+      if (h.rank >= r) violation(h, rank, name, loc);
+    }
+  }
+  if (t_held.capacity() == 0) t_held.reserve(8);
+  t_held.push_back(Held{lock, r, name, loc.file_name(), loc.line()});
+}
+
+void note_release(const void* lock) {
+  // Unlock order may legally differ from lock order: erase the most recent
+  // entry for this lock. Unranked locks were never recorded — no match is
+  // not an error.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->lock == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+int held_count() { return static_cast<int>(t_held.size()); }
+
+}  // namespace hyflow::lock_rank
+
+#endif  // HYFLOW_LOCK_RANK_CHECKS

@@ -1,8 +1,9 @@
 #include "util/log.hpp"
 
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.hpp"
 
 namespace hyflow {
 
@@ -28,15 +29,18 @@ const char* tag(LogLevel level) {
   return "?????";
 }
 
-std::mutex& log_mutex() {
-  static std::mutex mu;
+Mutex& log_mutex() {
+  // Leaf rank: logging happens inside arbitrary critical sections (e.g. the
+  // scheduler logs under the scheduling-table lock), so the sink must rank
+  // above every other capability.
+  static Mutex mu{LockRank::kLog, "log"};
   return mu;
 }
 }  // namespace
 
 void Log::write(LogLevel level, const std::string& message) {
   const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
-  std::scoped_lock lk(log_mutex());
+  MutexLock lk(log_mutex());
   std::fprintf(stderr, "[%s t%04zx] %s\n", tag(level), tid, message.c_str());
 }
 

@@ -1,0 +1,97 @@
+// Annotation-aware mutex and RAII guard.
+//
+// `Mutex` wraps std::mutex as a Clang thread-safety CAPABILITY and feeds
+// every (blocking) acquisition through the runtime lock-rank validator, so
+// one type gives both compile-time guarded-access checking and runtime
+// deadlock-order checking. `MutexLock` is the scoped guard the analysis
+// understands; it is relockable (explicit unlock()/lock()) and satisfies
+// BasicLockable, so it composes with std::condition_variable_any — use that
+// instead of std::condition_variable when waiting on a Mutex.
+//
+// std::scoped_lock / std::unique_lock must NOT be used with Mutex: the
+// analysis cannot see through them (std templates carry no annotations), so
+// guarded accesses under them would be flagged as unprotected.
+#pragma once
+
+#include <mutex>
+#include <source_location>
+
+#include "util/lock_rank.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace hyflow {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() noexcept : Mutex(LockRank::kUnranked, "mutex") {}
+  Mutex(LockRank rank, const char* name) noexcept : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current()) ACQUIRE() {
+    // Check order BEFORE blocking: a genuine inversion may deadlock inside
+    // mu_.lock() and never reach a post-acquisition check.
+    lock_rank::note_acquire(this, rank_, name_, loc, /*blocking=*/true);
+    mu_.lock();
+  }
+
+  bool try_lock(std::source_location loc = std::source_location::current())
+      TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // Recorded so later blocking acquisitions see it, but exempt from the
+    // order check — a non-blocking acquisition cannot deadlock.
+    lock_rank::note_acquire(this, rank_, name_, loc, /*blocking=*/false);
+    return true;
+  }
+
+  void unlock() RELEASE() {
+    lock_rank::note_release(this);
+    mu_.unlock();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+// Scoped guard over Mutex. Relockable: unlock()/lock() let condition-wait
+// and hand-off code drop the capability mid-scope with the analysis still
+// tracking it; the destructor releases only if currently held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu,
+                     std::source_location loc = std::source_location::current())
+      ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(loc);
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  // BasicLockable, for std::condition_variable_any::wait(*this).
+  void lock(std::source_location loc = std::source_location::current()) ACQUIRE() {
+    mu_.lock(loc);
+    held_ = true;
+  }
+
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+}  // namespace hyflow

@@ -1,15 +1,28 @@
 // Tiny test-and-test-and-set spinlock for very short critical sections
 // (object-store slot metadata). Satisfies Lockable so it composes with
-// std::scoped_lock (CP.20 — RAII, never plain lock/unlock).
+// RAII guards (CP.20 — never plain lock/unlock), is a Clang thread-safety
+// CAPABILITY, and participates in the runtime lock-rank validator when
+// constructed with a rank (see util/lock_rank.hpp).
 #pragma once
 
 #include <atomic>
+#include <source_location>
+
+#include "util/lock_rank.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hyflow {
 
-class SpinLock {
+class CAPABILITY("spinlock") SpinLock {
  public:
-  void lock() {
+  SpinLock() noexcept : SpinLock(LockRank::kUnranked, "spinlock") {}
+  SpinLock(LockRank rank, const char* name) noexcept : rank_(rank), name_(name) {}
+
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current()) ACQUIRE() {
+    lock_rank::note_acquire(this, rank_, name_, loc, /*blocking=*/true);
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
@@ -18,15 +31,23 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+  bool try_lock(std::source_location loc = std::source_location::current())
+      TRY_ACQUIRE(true) {
+    const bool won = !flag_.load(std::memory_order_relaxed) &&
+                     !flag_.exchange(true, std::memory_order_acquire);
+    if (won) lock_rank::note_acquire(this, rank_, name_, loc, /*blocking=*/false);
+    return won;
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() {
+    lock_rank::note_release(this);
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
+  const LockRank rank_;
+  const char* const name_;
 };
 
 }  // namespace hyflow

@@ -174,6 +174,25 @@ TEST(Network, SendAfterStopDropped) {
   EXPECT_EQ(net->network.send(make_msg(0, 1)), 0u);
 }
 
+// Regression: stop() used to notify timer_cv_ without holding timer_mu_.
+// The dispatcher's wake condition includes st.stop_requested(), which is not
+// written under that mutex, so the notify could land between the
+// dispatcher's check and its wait and be lost — stop() then hung joining a
+// dispatcher that slept forever. Not deterministically reproducible (the
+// window is a few instructions), so hammer start/stop cycles against an
+// idle dispatcher: pre-fix this eventually wedges, post-fix every stop()
+// returns promptly.
+TEST(Network, StopWakesIdleDispatcher) {
+  for (int i = 0; i < 200; ++i) {
+    TestNet net(2);
+    if (i % 2 == 0) {
+      net.network.send(make_msg(0, 1));  // alternate idle and busy stops
+      net.network.wait_idle();
+    }
+    net.network.stop();
+  }
+}
+
 // ----------------------------------------------------------------- RPC -----
 
 TEST(PendingCalls, SingleReply) {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources exactly the way CI does, so local
+# and CI results never diverge.
+#
+#   tools/run_tidy.sh           # analyse src/ (and tools/) against .clang-tidy
+#   tools/run_tidy.sh --fix     # apply suggested fixes in place
+#
+# Requires clang-tidy (and clang++ for the compilation database). The `tidy`
+# CMake preset produces build-tidy/compile_commands.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FIX_ARGS=()
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX_ARGS=(-fix -fix-errors)
+fi
+
+command -v "$TIDY" >/dev/null || {
+  echo "error: $TIDY not found (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 2
+}
+
+cmake --preset tidy >/dev/null
+
+mapfile -t FILES < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
+
+# run-clang-tidy ships with LLVM and parallelises over the database; fall
+# back to a plain loop when it is absent.
+if command -v run-clang-tidy >/dev/null; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p build-tidy -quiet -j "$JOBS" \
+    ${FIX_ARGS:+"${FIX_ARGS[@]}"} "${FILES[@]}"
+else
+  for f in "${FILES[@]}"; do
+    echo "tidy: $f"
+    "$TIDY" -p build-tidy --quiet ${FIX_ARGS:+"${FIX_ARGS[@]}"} "$f"
+  done
+fi
+
+echo "clang-tidy: clean"
