@@ -8,8 +8,8 @@
 // Usage: ablation_cl_threshold [--nodes=12] [--thresholds=1,2,4,6,8,12,16]
 //        [--workloads=bank,dht] ...
 #include <cstdio>
-#include <sstream>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 
 using namespace hyflow;
@@ -21,13 +21,12 @@ int main(int argc, char** argv) {
   opt.bench_name = "ablation_cl_threshold";
   const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 12));
   const auto thresholds = cfg.get_int_list("thresholds", {1, 2, 4, 6, 8, 12, 16});
+  if (opt.workloads.empty()) opt.workloads = {"bank", "vacation", "dht"};
+  const std::vector<std::string> selected = opt.workloads;
 
-  std::vector<std::string> selected;
-  {
-    std::stringstream ss(cfg.get_string("workloads", "bank,vacation,dht"));
-    std::string part;
-    while (std::getline(ss, part, ',')) selected.push_back(part);
-  }
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("nodes", static_cast<std::int64_t>(nodes));
+  opt.sink = &bench;
 
   print_header("Ablation: RTS CL-threshold sweep (high contention)", opt);
   std::printf("# nodes=%u read-ratio=%.2f\n\n", nodes, opt.read_ratio_high);
@@ -54,5 +53,6 @@ int main(int argc, char** argv) {
     std::printf("-> peak at threshold %lld (%.1f txn/s)\n\n", static_cast<long long>(best_t),
                 best_thr);
   }
+  write_bench_json(bench, opt);
   return 0;
 }

@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
+#include "bench/bench_result.hpp"
 #include "util/csv.hpp"
 
 namespace hyflow::bench {
+
+namespace {
+
+std::vector<std::string> split_csv_list(const std::string& raw) {
+  std::vector<std::string> items;
+  std::stringstream ss(raw);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+}  // namespace
 
 HarnessOptions HarnessOptions::from_config(const Config& cfg) {
   HarnessOptions opt;
@@ -24,7 +40,43 @@ HarnessOptions HarnessOptions::from_config(const Config& cfg) {
   opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", static_cast<std::int64_t>(opt.seed)));
   opt.verify = cfg.get_bool("verify", opt.verify);
   opt.csv_path = cfg.get_string("csv", "");
+  opt.json_path = cfg.get_string("json", "");
+  opt.workloads = split_csv_list(cfg.get_string("workloads", ""));
   return opt;
+}
+
+BenchResult make_bench_result(const HarnessOptions& opt) {
+  BenchResult result(opt.bench_name.empty() ? "bench" : opt.bench_name);
+  result.meta("seed", static_cast<std::int64_t>(opt.seed));
+  result.meta("workers_per_node", static_cast<std::int64_t>(opt.workers));
+  result.meta("measure_ms", static_cast<std::int64_t>(opt.measure / 1000000));
+  result.meta("warmup_ms", static_cast<std::int64_t>(opt.warmup / 1000000));
+  result.meta("repeats", static_cast<std::int64_t>(opt.repeats));
+  result.meta("objects_per_node", static_cast<std::int64_t>(opt.objects_per_node));
+  result.meta("min_delay_us", static_cast<std::int64_t>(opt.min_delay / 1000));
+  result.meta("max_delay_us", static_cast<std::int64_t>(opt.max_delay / 1000));
+  result.meta("local_work_us", static_cast<std::int64_t>(opt.local_work / 1000));
+  result.meta("max_nested", static_cast<std::int64_t>(opt.max_nested));
+  result.meta("verify", opt.verify);
+  {
+    std::ostringstream nodes;
+    for (std::size_t i = 0; i < opt.node_sweep.size(); ++i)
+      nodes << (i ? "," : "") << opt.node_sweep[i];
+    result.meta("node_sweep", nodes.str());
+  }
+  return result;
+}
+
+void write_bench_json(const BenchResult& result, const HarnessOptions& opt) {
+  if (opt.json_path == "none" || opt.json_path == "off") return;
+  const std::string path =
+      opt.json_path.empty() ? "BENCH_" + result.name() + ".json" : opt.json_path;
+  if (result.write(path))
+    std::printf("# wrote %s (%zu points)\n", path.c_str(), result.point_count());
+}
+
+std::vector<std::string> selected_workloads(const HarnessOptions& opt) {
+  return opt.workloads.empty() ? workloads::workload_names() : opt.workloads;
 }
 
 std::uint32_t tuned_threshold(const std::string& workload) {
@@ -73,6 +125,17 @@ runtime::ExperimentResult run_point(const HarnessOptions& opt, const std::string
               return a.throughput < b.throughput;
             });
   const auto& median = results[results.size() / 2];
+  const std::uint32_t threshold =
+      threshold_override ? threshold_override : tuned_threshold(workload);
+  if (opt.sink) {
+    opt.sink->add_point()
+        .label("workload", workload)
+        .label("scheduler", scheduler)
+        .label("nodes", static_cast<std::int64_t>(nodes))
+        .label("read_ratio", read_ratio)
+        .label("threshold", static_cast<std::int64_t>(threshold))
+        .from_experiment(median);
+  }
   if (!opt.csv_path.empty()) {
     CsvWriter csv(opt.csv_path,
                   {"bench", "workload", "scheduler", "nodes", "read_ratio", "threshold",
@@ -84,8 +147,7 @@ runtime::ExperimentResult run_point(const HarnessOptions& opt, const std::string
         .cell(scheduler)
         .cell(static_cast<std::uint64_t>(nodes))
         .cell(read_ratio)
-        .cell(static_cast<std::uint64_t>(threshold_override ? threshold_override
-                                                            : tuned_threshold(workload)))
+        .cell(static_cast<std::uint64_t>(threshold))
         .cell(median.throughput)
         .cell(median.delta.commits_root)
         .cell(median.delta.aborts_total())

@@ -16,6 +16,9 @@
 //   --local-work-us=300     local execution per nested child
 //   --seed=42
 //   --csv=FILE              append one row per measured point (see util/csv)
+//   --json=FILE             machine-readable result file (default
+//                           BENCH_<bench>.json; "none" disables)
+//   --workloads=a,b         restrict multi-workload benches to a subset
 #pragma once
 
 #include <string>
@@ -26,6 +29,8 @@
 #include "workloads/registry.hpp"
 
 namespace hyflow::bench {
+
+class BenchResult;
 
 struct HarnessOptions {
   std::vector<std::int64_t> node_sweep{10, 20, 40, 80};
@@ -44,9 +49,27 @@ struct HarnessOptions {
   bool verify = true;
   std::string csv_path;    // empty = no CSV output
   std::string bench_name;  // stamped into CSV rows; set by each binary
+  std::string json_path;   // "" = BENCH_<bench>.json, "none"/"off" disables
+  // Workload subset for benches that sweep every registered workload
+  // (empty = all). Lets CI smoke runs measure one workload cheaply.
+  std::vector<std::string> workloads;
+  // When set, run_point appends every measured point here (labels:
+  // workload/scheduler/nodes/read_ratio/threshold + the standard metrics).
+  BenchResult* sink = nullptr;
 
   static HarnessOptions from_config(const Config& cfg);
 };
+
+// BenchResult for this run with the harness parameters stamped as metadata
+// (seed, workers, window, delays, ...). Uses `opt.bench_name`.
+BenchResult make_bench_result(const HarnessOptions& opt);
+
+// Writes `result` to opt.json_path (default BENCH_<name>.json) unless
+// disabled; prints the path so runs are discoverable from the console.
+void write_bench_json(const BenchResult& result, const HarnessOptions& opt);
+
+// The workloads this run sweeps: opt.workloads if given, else all registered.
+std::vector<std::string> selected_workloads(const HarnessOptions& opt);
 
 // CL threshold at the per-benchmark throughput peak (found by the
 // ablation bench; the paper determines it the same way).

@@ -8,6 +8,7 @@
 // Usage: ext_bi_interval [--nodes=16] ...
 #include <cstdio>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 
 using namespace hyflow;
@@ -19,13 +20,17 @@ int main(int argc, char** argv) {
   opt.bench_name = "ext_bi_interval";
   const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 16));
 
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("nodes", static_cast<std::int64_t>(nodes));
+  opt.sink = &bench;
+
   print_header("Extension: RTS vs Bi-interval (authors' prior scheduler)", opt);
   std::printf("# nodes=%u; throughput in committed txn/s\n\n", nodes);
   std::printf("%-12s | %10s %12s | %10s %12s\n", "benchmark", "RTS(low)", "BiInt(low)",
               "RTS(high)", "BiInt(high)");
   std::printf("-------------+-------------------------+------------------------\n");
 
-  for (const auto& workload : workloads::workload_names()) {
+  for (const auto& workload : selected_workloads(opt)) {
     double thr[4];
     int i = 0;
     for (const double rr : {opt.read_ratio_low, opt.read_ratio_high}) {
@@ -43,5 +48,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n# expectation: Bi-interval competitive on read-heavy mixes (read intervals),\n"
       "# RTS ahead on write-heavy mixes (admission control avoids convoying)\n");
+  write_bench_json(bench, opt);
   return 0;
 }

@@ -18,6 +18,7 @@
 // Usage: ext_nesting_models [--nodes=12] ...
 #include <cstdio>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 #include "workloads/bank.hpp"
 
@@ -108,7 +109,12 @@ class StyledBank : public workloads::BankWorkload {
 int main(int argc, char** argv) {
   const auto cfg = Config::from_args(argc, argv);
   auto opt = HarnessOptions::from_config(cfg);
+  opt.bench_name = "ext_nesting_models";
   const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 12));
+
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("nodes", static_cast<std::int64_t>(nodes));
+  bench.meta("read_ratio", opt.read_ratio_high);
 
   print_header("Extension: flat vs closed vs open nesting (Bank, RTS)", opt);
   std::printf("# nodes=%u read-ratio=%.2f\n\n", nodes, opt.read_ratio_high);
@@ -153,6 +159,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.delta.compensations_run),
                 r.verified ? "yes" : "NO");
     std::fflush(stdout);
+    bench.add_point()
+        .label("style", names[s])
+        .label("workload", "bank")
+        .label("scheduler", "rts")
+        .label("nodes", static_cast<std::int64_t>(nodes))
+        .from_experiment(r)
+        .metric("parent_throughput", parent_throughput);
   }
+  write_bench_json(bench, opt);
   return 0;
 }

@@ -9,6 +9,7 @@
 // Usage: fig6_speedup_summary [--nodes=24] ...
 #include <cstdio>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 
 using namespace hyflow;
@@ -20,6 +21,10 @@ int main(int argc, char** argv) {
   opt.bench_name = "fig6_speedup_summary";
   const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 24));
 
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("nodes", static_cast<std::int64_t>(nodes));
+  opt.sink = &bench;
+
   print_header("Figure 6: RTS throughput speedup over TFA and TFA+Backoff", opt);
   std::printf("# nodes=%u; values are RTS throughput / competitor throughput\n\n", nodes);
   std::printf("%-12s | %10s %14s | %10s %14s\n", "benchmark", "TFA(low)", "Backoff(low)",
@@ -27,7 +32,7 @@ int main(int argc, char** argv) {
   std::printf("-------------+---------------------------+--------------------------\n");
 
   double best_low = 0, best_high = 0;
-  for (const auto& workload : workloads::workload_names()) {
+  for (const auto& workload : selected_workloads(opt)) {
     double speedups[4];
     int i = 0;
     for (const double rr : {opt.read_ratio_low, opt.read_ratio_high}) {
@@ -45,5 +50,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# max speedup: %.2fx (low) / %.2fx (high); paper: 1.53x / 1.88x\n", best_low,
               best_high);
+  bench.meta("max_speedup_low", best_low);
+  bench.meta("max_speedup_high", best_high);
+  write_bench_json(bench, opt);
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 
 namespace hyflow::bench {
@@ -14,10 +15,15 @@ inline int run_throughput_figure(int argc, char** argv, const char* title, bool 
   opt.bench_name = low_contention ? "fig4_throughput_low" : "fig5_throughput_high";
   const double read_ratio = low_contention ? opt.read_ratio_low : opt.read_ratio_high;
 
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("contention", low_contention ? "low" : "high");
+  bench.meta("read_ratio", read_ratio);
+  opt.sink = &bench;
+
   print_header(title, opt);
   std::printf("# read ratio=%.2f; series: throughput in committed txn/s\n\n", read_ratio);
 
-  for (const auto& workload : workloads::workload_names()) {
+  for (const auto& workload : selected_workloads(opt)) {
     std::printf("## %s (%s contention)\n", workload.c_str(), low_contention ? "low" : "high");
     std::printf("%-6s %12s %12s %12s\n", "nodes", "RTS", "TFA", "TFA+Backoff");
     for (const auto nodes : opt.node_sweep) {
@@ -38,6 +44,7 @@ inline int run_throughput_figure(int argc, char** argv, const char* title, bool 
     std::printf("\n");
   }
   std::printf("# expectation: RTS tops each column; throughput grows with nodes\n");
+  write_bench_json(bench, opt);
   return 0;
 }
 

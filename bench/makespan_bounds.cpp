@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 #include "runtime/cluster.hpp"
 
@@ -34,9 +35,17 @@ class Cell : public TxObject<Cell> {
   std::int64_t value = 0;
 };
 
+struct MakespanRun {
+  SimDuration makespan = 0;
+  runtime::MetricsSnapshot delta;  // whole-run counters (incl. latency)
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  bool verified = true;
+};
+
 // One transaction per node, all incrementing the same object; returns the
-// wall-clock makespan.
-SimDuration measure_makespan(const HarnessOptions& opt, const std::string& scheduler,
+// wall-clock makespan plus the run's metrics.
+MakespanRun measure_makespan(const HarnessOptions& opt, const std::string& scheduler,
                              std::uint32_t nodes, SimDuration gamma) {
   runtime::ClusterConfig cfg;
   cfg.nodes = nodes;
@@ -62,16 +71,22 @@ SimDuration measure_makespan(const HarnessOptions& opt, const std::string& sched
       });
     }
   }
-  const SimDuration makespan = clock.elapsed();
+  MakespanRun run;
+  run.makespan = clock.elapsed();
+  run.delta = cluster.total_metrics();
+  run.messages = cluster.network().stats().messages.load();
+  run.bytes = cluster.network().stats().bytes.load();
 
   // All N increments must have committed exactly once.
   std::int64_t final_value = 0;
   cluster.execute(0, 2, [&](tfa::Txn& tx) { final_value = tx.read<Cell>(oid).value; });
-  if (final_value != static_cast<std::int64_t>(nodes))
+  if (final_value != static_cast<std::int64_t>(nodes)) {
     std::printf("!! lost updates: value=%lld nodes=%u\n",
                 static_cast<long long>(final_value), nodes);
+    run.verified = false;
+  }
   cluster.shutdown();
-  return makespan;
+  return run;
 }
 
 }  // namespace
@@ -79,9 +94,14 @@ SimDuration measure_makespan(const HarnessOptions& opt, const std::string& sched
 int main(int argc, char** argv) {
   const auto cfg = Config::from_args(argc, argv);
   auto opt = HarnessOptions::from_config(cfg);
+  opt.bench_name = "makespan_bounds";
   const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 16));
   const SimDuration gamma = sim_us(cfg.get_int("gamma-us", 300));
   const int repeats = static_cast<int>(cfg.get_int("repeats", 3));
+
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("nodes", static_cast<std::int64_t>(nodes));
+  bench.meta("gamma_us", static_cast<std::int64_t>(gamma / 1000));
 
   print_header("Makespan bounds (paper SS III-D): N writers, one object", opt);
   std::printf("# nodes=%u gamma=%lldus repeats=%d\n\n", nodes,
@@ -103,12 +123,19 @@ int main(int argc, char** argv) {
   const SimDuration bound_b = 2 * static_cast<SimDuration>(nodes - 1) * sum_d0 + sum_gamma;
   const SimDuration bound_rts = sum_d0 + sum_chain + sum_gamma;
 
+  MakespanRun best_rts_run, best_b_run;
   double best_rts = 1e18, best_b = 1e18;
   for (int rep = 0; rep < repeats; ++rep) {
-    best_rts = std::min(best_rts, static_cast<double>(
-                                      measure_makespan(opt, "rts", nodes, gamma)));
-    best_b = std::min(best_b, static_cast<double>(
-                                  measure_makespan(opt, "backoff", nodes, gamma)));
+    auto rts_run = measure_makespan(opt, "rts", nodes, gamma);
+    if (static_cast<double>(rts_run.makespan) < best_rts) {
+      best_rts = static_cast<double>(rts_run.makespan);
+      best_rts_run = std::move(rts_run);
+    }
+    auto b_run = measure_makespan(opt, "backoff", nodes, gamma);
+    if (static_cast<double>(b_run.makespan) < best_b) {
+      best_b = static_cast<double>(b_run.makespan);
+      best_b_run = std::move(b_run);
+    }
   }
 
   std::printf("%-22s %14s %14s\n", "", "measured(ms)", "lemma bound(ms)");
@@ -120,5 +147,24 @@ int main(int argc, char** argv) {
   std::printf("\nRCR = makespan_RTS / makespan_B = %.3f (Theorem 3.4 expects < 1)\n", rcr);
   std::printf("bound ratio = %.3f\n",
               static_cast<double>(bound_rts) / static_cast<double>(bound_b));
+
+  const struct {
+    const char* scheduler;
+    const MakespanRun* run;
+    double makespan;
+    SimDuration bound;
+  } rows[] = {{"rts", &best_rts_run, best_rts, bound_rts},
+              {"backoff", &best_b_run, best_b, bound_b}};
+  for (const auto& row : rows) {
+    bench.add_point()
+        .label("scheduler", row.scheduler)
+        .label("nodes", static_cast<std::int64_t>(nodes))
+        .from_metrics(row.run->delta, row.makespan * 1e-9, row.run->messages,
+                      row.run->bytes, row.run->verified)
+        .metric("makespan_ms", row.makespan / 1e6)
+        .metric("bound_ms", static_cast<double>(row.bound) / 1e6);
+  }
+  bench.meta("rcr", rcr);
+  write_bench_json(bench, opt);
   return 0;
 }

@@ -3,7 +3,19 @@
 // scheduler decisions, object store operations, topology lookups and a full
 // network round-trip. These quantify the per-message and per-decision costs
 // underlying the macro results.
+//
+// In addition to google-benchmark's console output, writes
+// BENCH_micro_substrates.json (one point per microbenchmark with
+// real/cpu time and ops/s) via a collecting reporter; --json=FILE overrides
+// the path, --json=none disables.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_result.hpp"
 
 #include "core/contention.hpp"
 #include "core/requester_list.hpp"
@@ -250,4 +262,69 @@ BENCHMARK(BM_TxnClosedNestedWrite)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace hyflow
 
-BENCHMARK_MAIN();
+namespace {
+
+// ConsoleReporter that additionally collects each run for the JSON file.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Item {
+    std::string name;
+    double real_ns = 0.0;  // per iteration
+    double cpu_ns = 0.0;   // per iteration
+    double iterations = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Item item;
+      item.name = run.benchmark_name();
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      item.real_ns = run.real_accumulated_time * 1e9 / iters;
+      item.cpu_ns = run.cpu_accumulated_time * 1e9 / iters;
+      item.iterations = static_cast<double>(run.iterations);
+      items.push_back(std::move(item));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<Item> items;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off --json= before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+
+  hyflow::bench::BenchResult bench("micro_substrates");
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path == "none" || json_path == "off") return 0;
+  for (const auto& item : reporter.items) {
+    bench.add_point()
+        .label("benchmark", item.name)
+        .metric("real_time_ns", item.real_ns)
+        .metric("cpu_time_ns", item.cpu_ns)
+        .metric("iterations", item.iterations)
+        .metric("ops_per_sec", item.real_ns > 0.0 ? 1e9 / item.real_ns : 0.0);
+  }
+  const std::string path =
+      json_path.empty() ? "BENCH_" + bench.name() + ".json" : json_path;
+  if (bench.write(path))
+    std::printf("# wrote %s (%zu points)\n", path.c_str(), bench.point_count());
+  return 0;
+}

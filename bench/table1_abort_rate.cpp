@@ -15,6 +15,7 @@
 // Usage: table1_abort_rate [--nodes=16] [--duration-ms=400] ...
 #include <cstdio>
 
+#include "bench/bench_result.hpp"
 #include "bench/common.hpp"
 
 using namespace hyflow;
@@ -26,13 +27,17 @@ int main(int argc, char** argv) {
   opt.bench_name = "table1_abort_rate";
   const auto nodes = static_cast<std::uint32_t>(cfg.get_int("nodes", 16));
 
+  BenchResult bench = make_bench_result(opt);
+  bench.meta("nodes", static_cast<std::int64_t>(nodes));
+  opt.sink = &bench;
+
   print_header("Table I: abort rate of nested transactions (parent-caused / total)", opt);
   std::printf("# nodes=%u (paper: 80)\n\n", nodes);
   std::printf("%-12s | %8s %8s | %8s %8s\n", "benchmark", "RTS(low)", "TFA(low)", "RTS(hi)",
               "TFA(hi)");
   std::printf("-------------+-------------------+------------------\n");
 
-  for (const auto& workload : workloads::workload_names()) {
+  for (const auto& workload : selected_workloads(opt)) {
     double rates[4] = {0, 0, 0, 0};
     int i = 0;
     for (const double rr : {opt.read_ratio_low, opt.read_ratio_high}) {
@@ -48,5 +53,6 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("\n# expectation: RTS below TFA in every cell; rates rise with contention\n");
+  write_bench_json(bench, opt);
   return 0;
 }

@@ -78,7 +78,6 @@ void Cluster::stop_workers() {
   // cutting them would eat lock-grant replies mid-commit and leak locks.
   for (auto& w : workers_) w->request_stop();
   for (auto& w : workers_) w->join();
-  for (auto& w : workers_) merged_latency_.merge(w->latency());
   workers_.clear();
   // Drain in-flight messages (ownership transfers, unlock notifications) so
   // post-run audits see a quiescent, consistent cluster.
@@ -96,7 +95,7 @@ MetricsSnapshot Cluster::total_metrics() const {
   return total;
 }
 
-Histogram Cluster::merged_latency() const { return merged_latency_; }
+Histogram Cluster::merged_latency() const { return total_metrics().latency; }
 
 std::uint64_t Cluster::total_completed() const {
   std::uint64_t total = 0;

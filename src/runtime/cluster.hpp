@@ -63,7 +63,9 @@ class Cluster {
                          const std::function<void(tfa::Txn&)>& body);
 
   MetricsSnapshot total_metrics() const;
-  Histogram merged_latency() const;  // valid after stop_workers()
+  // Cluster-wide commit-latency histogram (from per-node metrics); safe to
+  // read live, not just after stop_workers().
+  Histogram merged_latency() const;
   std::uint64_t total_completed() const;
 
   // Stops workers, unblocks pending calls, stops the network.
@@ -74,7 +76,6 @@ class Cluster {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  Histogram merged_latency_;
   // Periodically expires unacknowledged Alg. 4 grants on every node so a
   // dropped hand-off re-serves the queue instead of stranding it.
   std::jthread maintenance_;

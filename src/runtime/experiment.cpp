@@ -17,10 +17,12 @@ ExperimentResult run_experiment(workloads::Workload& workload, const ExperimentC
 
   const MetricsSnapshot before = cluster.total_metrics();
   const std::uint64_t messages_before = cluster.network().stats().messages.load();
+  const std::uint64_t bytes_before = cluster.network().stats().bytes.load();
   const SimTime t0 = sim_now();
   std::this_thread::sleep_for(to_chrono(cfg.measure));
   const MetricsSnapshot after = cluster.total_metrics();
   const std::uint64_t messages_after = cluster.network().stats().messages.load();
+  const std::uint64_t bytes_after = cluster.network().stats().bytes.load();
   const SimTime t1 = sim_now();
 
   cluster.stop_workers();
@@ -28,6 +30,7 @@ ExperimentResult run_experiment(workloads::Workload& workload, const ExperimentC
   ExperimentResult result;
   result.delta = after - before;
   const double secs = static_cast<double>(t1 - t0) * 1e-9;
+  result.seconds = secs;
   result.throughput = static_cast<double>(result.delta.commits_root) / secs;
   result.nested_abort_rate = result.delta.nested_abort_rate();
   const std::uint64_t attempts = result.delta.commits_root + result.delta.aborts_total();
@@ -35,6 +38,7 @@ ExperimentResult run_experiment(workloads::Workload& workload, const ExperimentC
                                      : static_cast<double>(result.delta.aborts_total()) /
                                            static_cast<double>(attempts);
   result.messages = messages_after - messages_before;
+  result.bytes = bytes_after - bytes_before;
   for (NodeId id = 0; id < cluster.size(); ++id)
     result.queue_residue += cluster.node(id).scheduler().total_queued();
 
@@ -53,7 +57,12 @@ std::string ExperimentResult::summary() const {
      << " nested_abort_rate=" << nested_abort_rate << " abort_ratio=" << abort_ratio
      << " commits=" << delta.commits_root << " aborts=" << delta.aborts_total()
      << " enqueued=" << delta.enqueued << " handoffs=" << delta.handoffs_received
-     << " messages=" << messages << (verified ? "" : " VERIFY-FAILED");
+     << " messages=" << messages;
+  if (delta.latency.count() > 0) {
+    os << " p50_ms=" << static_cast<double>(delta.latency.value_at_percentile(50)) / 1e6
+       << " p99_ms=" << static_cast<double>(delta.latency.value_at_percentile(99)) / 1e6;
+  }
+  os << (verified ? "" : " VERIFY-FAILED");
   return os.str();
 }
 

@@ -27,8 +27,10 @@ struct ExperimentResult {
   double throughput = 0.0;           // root commits / second (measurement window)
   double nested_abort_rate = 0.0;    // Table I metric
   double abort_ratio = 0.0;          // root aborts / (commits + aborts)
-  MetricsSnapshot delta;             // window counters
+  MetricsSnapshot delta;             // window counters (incl. latency histogram)
+  double seconds = 0.0;              // measured wall time of the window
   std::uint64_t messages = 0;        // transport messages in the window
+  std::uint64_t bytes = 0;           // transport bytes in the window
   std::uint64_t queue_residue = 0;   // requesters still parked at the end
   bool verified = true;
 

@@ -2,6 +2,14 @@
 
 namespace hyflow::runtime {
 
+namespace {
+// Counters are monotonic, so `after - before` should never go negative; if
+// it does (a node reset inside the window), clamp to 0 rather than wrapping.
+inline std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : 0;
+}
+}  // namespace
+
 MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
   commits_root += other.commits_root;
   commits_read_only += other.commits_read_only;
@@ -25,34 +33,44 @@ MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
   dedup_hits += other.dedup_hits;
   watchdog_aborts += other.watchdog_aborts;
   grant_reforwards += other.grant_reforwards;
+  latency.merge(other.latency);
   return *this;
 }
 
 MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& other) const {
   MetricsSnapshot d = *this;
-  d.commits_root -= other.commits_root;
-  d.commits_read_only -= other.commits_read_only;
-  d.commits_write -= other.commits_write;
-  for (std::size_t i = 0; i < aborts_root.size(); ++i) d.aborts_root[i] -= other.aborts_root[i];
-  d.nested_commits -= other.nested_commits;
-  d.nested_aborts_total -= other.nested_aborts_total;
-  d.nested_aborts_parent_cause -= other.nested_aborts_parent_cause;
-  d.nested_aborts_own_cause -= other.nested_aborts_own_cause;
-  d.enqueued -= other.enqueued;
-  d.handoffs_received -= other.handoffs_received;
-  d.handoffs_sent -= other.handoffs_sent;
-  d.backoff_expired -= other.backoff_expired;
-  d.not_interested -= other.not_interested;
-  d.conflicts_seen -= other.conflicts_seen;
-  d.wrong_owner_retries -= other.wrong_owner_retries;
-  d.forwardings -= other.forwardings;
-  d.open_nested_commits -= other.open_nested_commits;
-  d.compensations_run -= other.compensations_run;
-  d.rpc_retries -= other.rpc_retries;
-  d.dedup_hits -= other.dedup_hits;
-  d.watchdog_aborts -= other.watchdog_aborts;
-  d.grant_reforwards -= other.grant_reforwards;
+  d.commits_root = sat_sub(d.commits_root, other.commits_root);
+  d.commits_read_only = sat_sub(d.commits_read_only, other.commits_read_only);
+  d.commits_write = sat_sub(d.commits_write, other.commits_write);
+  for (std::size_t i = 0; i < aborts_root.size(); ++i)
+    d.aborts_root[i] = sat_sub(d.aborts_root[i], other.aborts_root[i]);
+  d.nested_commits = sat_sub(d.nested_commits, other.nested_commits);
+  d.nested_aborts_total = sat_sub(d.nested_aborts_total, other.nested_aborts_total);
+  d.nested_aborts_parent_cause =
+      sat_sub(d.nested_aborts_parent_cause, other.nested_aborts_parent_cause);
+  d.nested_aborts_own_cause =
+      sat_sub(d.nested_aborts_own_cause, other.nested_aborts_own_cause);
+  d.enqueued = sat_sub(d.enqueued, other.enqueued);
+  d.handoffs_received = sat_sub(d.handoffs_received, other.handoffs_received);
+  d.handoffs_sent = sat_sub(d.handoffs_sent, other.handoffs_sent);
+  d.backoff_expired = sat_sub(d.backoff_expired, other.backoff_expired);
+  d.not_interested = sat_sub(d.not_interested, other.not_interested);
+  d.conflicts_seen = sat_sub(d.conflicts_seen, other.conflicts_seen);
+  d.wrong_owner_retries = sat_sub(d.wrong_owner_retries, other.wrong_owner_retries);
+  d.forwardings = sat_sub(d.forwardings, other.forwardings);
+  d.open_nested_commits = sat_sub(d.open_nested_commits, other.open_nested_commits);
+  d.compensations_run = sat_sub(d.compensations_run, other.compensations_run);
+  d.rpc_retries = sat_sub(d.rpc_retries, other.rpc_retries);
+  d.dedup_hits = sat_sub(d.dedup_hits, other.dedup_hits);
+  d.watchdog_aborts = sat_sub(d.watchdog_aborts, other.watchdog_aborts);
+  d.grant_reforwards = sat_sub(d.grant_reforwards, other.grant_reforwards);
+  d.latency.subtract(other.latency);
   return d;
+}
+
+void NodeMetrics::record_latency(std::uint64_t ns) {
+  MutexLock lock(latency_mu_);
+  latency_.add(ns);
 }
 
 MetricsSnapshot NodeMetrics::snapshot() const {
@@ -80,6 +98,10 @@ MetricsSnapshot NodeMetrics::snapshot() const {
   s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
   s.watchdog_aborts = watchdog_aborts_.load(std::memory_order_relaxed);
   s.grant_reforwards = grant_reforwards_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(latency_mu_);
+    s.latency = latency_;
+  }
   return s;
 }
 

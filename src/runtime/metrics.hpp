@@ -5,9 +5,14 @@
 //   * Table I's "abort rate of nested transactions" = nested aborts caused
 //     by a parent abort / total nested aborts.
 //
-// Counters are relaxed atomics (hot path); latency histograms are owned by
-// workers and merged after quiesce. Snapshots are plain structs so benches
-// can diff two snapshots for a measurement window.
+// Counters are relaxed atomics (hot path); the commit-latency histogram is
+// recorded by the TFA runtime under a per-node leaf spinlock (one brief
+// acquisition per root commit — negligible next to the commit round-trips)
+// so live snapshots and measurement-window deltas include percentiles.
+// Snapshots are plain structs so benches can diff two snapshots for a
+// measurement window; the diff is saturating (a counter that appears to run
+// backwards — e.g. around a crash window reset — clamps to 0 instead of
+// wrapping to 2^64).
 #pragma once
 
 #include <array>
@@ -16,6 +21,8 @@
 
 #include "tfa/abort.hpp"
 #include "util/histogram.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hyflow::runtime {
 
@@ -44,6 +51,9 @@ struct MetricsSnapshot {
   std::uint64_t dedup_hits = 0;         // duplicate requests answered from cache
   std::uint64_t watchdog_aborts = 0;    // transactions aborted on retry exhaustion
   std::uint64_t grant_reforwards = 0;   // Alg. 4 grants re-forwarded after ack loss
+  // Root-commit latency (ns), recorded at commit time. Bucket counts are
+  // monotonic, so `after - before` yields the window's histogram.
+  Histogram latency;
 
   std::uint64_t aborts_total() const {
     std::uint64_t sum = 0;
@@ -97,6 +107,9 @@ class NodeMetrics {
   void add_watchdog_abort() { watchdog_aborts_.fetch_add(1, std::memory_order_relaxed); }
   void add_grant_reforward() { grant_reforwards_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Records one root-commit latency (ns) into the per-node histogram.
+  void record_latency(std::uint64_t ns);
+
   MetricsSnapshot snapshot() const;
 
  private:
@@ -123,6 +136,8 @@ class NodeMetrics {
   std::atomic<std::uint64_t> dedup_hits_{0};
   std::atomic<std::uint64_t> watchdog_aborts_{0};
   std::atomic<std::uint64_t> grant_reforwards_{0};
+  mutable Mutex latency_mu_{LockRank::kMetrics, "metrics-latency"};
+  Histogram latency_ GUARDED_BY(latency_mu_);
 };
 
 }  // namespace hyflow::runtime

@@ -62,6 +62,23 @@ std::string ClusterReport::to_string() const {
                 static_cast<unsigned long long>(bytes),
                 static_cast<unsigned long long>(object_payloads));
   os << line;
+  if (totals.latency.count() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f (%llu samples)\n",
+                  static_cast<double>(totals.latency.value_at_percentile(50)) / 1e6,
+                  static_cast<double>(totals.latency.value_at_percentile(90)) / 1e6,
+                  static_cast<double>(totals.latency.value_at_percentile(99)) / 1e6,
+                  static_cast<double>(totals.latency.max()) / 1e6,
+                  static_cast<unsigned long long>(totals.latency.count()));
+    os << line;
+  }
+  if (totals.latency.overflow_count() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "!! latency histogram overflow: %llu samples above range — "
+                  "tail percentiles are clamped\n",
+                  static_cast<unsigned long long>(totals.latency.overflow_count()));
+    os << line;
+  }
   const std::uint64_t injected = faults_dropped + faults_duplicated + faults_delayed +
                                  faults_partition_dropped + faults_crash_dropped;
   if (injected > 0 || dropped_on_stop > 0 || totals.rpc_retries > 0 ||

@@ -30,10 +30,8 @@ void Worker::loop(std::stop_token st) {
     auto op = workload_.next_op(node_.self(), rng_);
     const auto result = node_.runtime().run(op.profile, op.body,
                                             [&st] { return !st.stop_requested(); });
-    if (result.committed) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      latency_.add(static_cast<std::uint64_t>(result.latency));
-    }
+    // Commit latency lands in NodeMetrics (recorded by the TFA runtime).
+    if (result.committed) completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

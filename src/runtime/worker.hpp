@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <thread>
 
-#include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -34,9 +33,6 @@ class Worker {
 
   std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
 
-  // Safe to read after join().
-  const Histogram& latency() const { return latency_; }
-
  private:
   void loop(std::stop_token st);
 
@@ -44,7 +40,6 @@ class Worker {
   workloads::Workload& workload_;
   Xoshiro256 rng_;
   std::atomic<std::uint64_t> completed_{0};
-  Histogram latency_;
   std::jthread thread_;
 };
 

@@ -102,6 +102,7 @@ RunResult TfaRuntime::run(std::uint32_t profile, const std::function<void(Txn&)>
       if (!read_only) stats_.record_commit(profile, sim_now() - attempt_start);
       res.committed = true;
       res.latency = sim_now() - first_start;
+      metrics_.record_latency(static_cast<std::uint64_t>(res.latency));
       return res;
     } catch (const AbortException& e) {
       metrics_.add_root_abort(e.cause);

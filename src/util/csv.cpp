@@ -1,15 +1,50 @@
 #include "util/csv.hpp"
 
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace hyflow {
 
+namespace {
+
+std::string join_line(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += CsvWriter::escape(cells[i]);
+  }
+  return line;
+}
+
+}  // namespace
+
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header) {
   if (path.empty()) return;
   std::error_code ec;
-  const bool fresh =
+  bool fresh =
       !std::filesystem::exists(path, ec) || std::filesystem::file_size(path, ec) == 0;
+  if (!fresh) {
+    // Appending rows under a different header silently misaligns every
+    // column downstream; rotate the stale file aside and start a fresh one.
+    std::string existing_header;
+    {
+      std::ifstream in(path);
+      std::getline(in, existing_header);
+      if (!existing_header.empty() && existing_header.back() == '\r')
+        existing_header.pop_back();
+    }
+    if (existing_header != join_line(header)) {
+      const std::string stale = path + ".stale";
+      std::filesystem::rename(path, stale, ec);
+      std::fprintf(stderr,
+                   "csv: header of '%s' does not match the current schema; "
+                   "rotated old file to '%s'\n",
+                   path.c_str(), stale.c_str());
+      fresh = true;
+    }
+  }
   out_.open(path, std::ios::app);
   if (out_.is_open() && fresh) write_line(header);
 }
@@ -26,11 +61,7 @@ std::string CsvWriter::escape(const std::string& field) {
 }
 
 void CsvWriter::write_line(const std::vector<std::string>& cells) {
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(cells[i]);
-  }
-  out_ << '\n';
+  out_ << join_line(cells) << '\n';
   out_.flush();
 }
 

@@ -4,7 +4,10 @@
 // Quoting follows RFC 4180: fields containing comma, quote or newline are
 // quoted, embedded quotes doubled. The writer appends to an existing file
 // (writing the header only when it creates the file), so repeated bench
-// invocations accumulate one tidy table.
+// invocations accumulate one tidy table. If an existing file's header does
+// not match the requested schema, the old file is rotated to `<path>.stale`
+// (with a warning on stderr) and a fresh file is started — appending rows
+// under a mismatched header would silently misalign every column.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +20,8 @@ namespace hyflow {
 class CsvWriter {
  public:
   // Opens `path` for append; writes `header` first if the file is new or
-  // empty. An empty path produces a disabled writer (all ops no-op).
+  // empty, and rotates the file to `<path>.stale` first when its existing
+  // header differs. An empty path produces a disabled writer (all ops no-op).
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   bool enabled() const { return out_.is_open(); }

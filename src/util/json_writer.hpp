@@ -1,0 +1,77 @@
+// Streaming JSON emitter for the bench/report layer (BENCH_*.json).
+//
+// Deliberately tiny — no DOM, no parsing, no external dependency. The
+// writer tracks the open object/array nesting to place commas and
+// indentation, escapes strings per RFC 8259, and guards non-finite doubles
+// by emitting `null` (a bare `nan`/`inf` token would make the file
+// unparseable for every downstream consumer).
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.field("name", "fig4").key("points").begin_array();
+//   w.begin_object().field("throughput", 123.4).end_object();
+//   w.end_array().end_object();
+//   write_text_file("BENCH_fig4.json", w.str());
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyflow {
+
+class JsonWriter {
+ public:
+  // `indent` spaces per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Emits the member name; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  // The document so far; complete once every container has been closed.
+  const std::string& str() const { return out_; }
+  bool complete() const { return !out_.empty() && stack_.empty(); }
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+
+  void prepare_for_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+  const int indent_;
+};
+
+// Writes `text` to `path` atomically enough for the bench harness (truncate
+// + write + flush). Returns false (and warns on stderr) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace hyflow

@@ -46,6 +46,7 @@ enum class LockRank : int {
   kCallState = 80,      // net::PendingCalls::CallState::mu
   kNetTimer = 85,       // net::Network::timer_mu_
   kInbox = 90,          // BlockingQueue (network lanes, node inboxes)
+  kMetrics = 95,        // runtime::NodeMetrics::latency_mu_ — leaf
   kLog = 100,           // log sink — leaf, may be taken under anything
 };
 

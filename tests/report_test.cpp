@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "net/payloads.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/report.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -74,6 +75,73 @@ TEST(Csv, NumericFormatting) {
   EXPECT_EQ(tmp.read(), "d,i,u\n1.5,-3,7\n");
 }
 
+// Regression: appending rows with a different column set used to silently
+// produce a mixed-schema file; the writer must rotate the stale file aside
+// and start fresh with the new header.
+TEST(Csv, RotatesFileOnHeaderMismatch) {
+  TempFile tmp;
+  const std::string stale = tmp.path.string() + ".stale";
+  {
+    CsvWriter csv(tmp.path.string(), {"a", "b"});
+    csv.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  }
+  {
+    CsvWriter csv(tmp.path.string(), {"a", "c"});  // schema changed
+    csv.row().cell(std::int64_t{3}).cell(std::int64_t{4});
+  }
+  EXPECT_EQ(tmp.read(), "a,c\n3,4\n");
+  std::ifstream in(stale);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+  std::filesystem::remove(stale);
+}
+
+TEST(Csv, MatchingHeaderDoesNotRotate) {
+  TempFile tmp;
+  {
+    CsvWriter csv(tmp.path.string(), {"a", "b"});
+    csv.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  }
+  {
+    CsvWriter csv(tmp.path.string(), {"a", "b"});
+    csv.row().cell(std::int64_t{3}).cell(std::int64_t{4});
+  }
+  EXPECT_EQ(tmp.read(), "a,b\n1,2\n3,4\n");
+  EXPECT_FALSE(std::filesystem::exists(tmp.path.string() + ".stale"));
+}
+
+// -------------------------------------------------------------- metrics ----
+
+// Snapshot subtraction saturates instead of wrapping when a counter appears
+// to run backwards (e.g. a window straddling a crash-reset).
+TEST(Metrics, SnapshotDifferenceSaturates) {
+  runtime::MetricsSnapshot before, after;
+  before.commits_root = 100;
+  after.commits_root = 40;  // "ran backwards"
+  before.rpc_retries = 7;
+  after.rpc_retries = 7;
+  before.latency.add(50);
+  before.latency.add(60);
+  after.latency.add(50);  // one fewer sample than `before`
+  const auto diff = after - before;
+  EXPECT_EQ(diff.commits_root, 0u);  // not 2^64 - 60
+  EXPECT_EQ(diff.rpc_retries, 0u);
+  EXPECT_EQ(diff.latency.count(), 0u);
+}
+
+TEST(Metrics, SnapshotDifferenceIncludesLatencyWindow) {
+  runtime::NodeMetrics metrics;
+  metrics.record_latency(1000);
+  const auto before = metrics.snapshot();
+  metrics.record_latency(500000);
+  metrics.record_latency(600000);
+  auto after = metrics.snapshot();
+  const auto diff = after - before;
+  ASSERT_EQ(diff.latency.count(), 2u);
+  EXPECT_GT(diff.latency.value_at_percentile(50), 1000u);
+}
+
 // --------------------------------------------------------------- report ----
 
 TEST(Report, CollectsPerNodeState) {
@@ -100,6 +168,47 @@ TEST(Report, CollectsPerNodeState) {
   const auto text = report.to_string();
   EXPECT_NE(text.find("total commits=10"), std::string::npos);
   EXPECT_NE(text.find("network messages="), std::string::npos);
+  cluster.shutdown();
+}
+
+// Commit latency recorded by the TFA runtime must surface in the aggregated
+// report: non-zero percentiles in `totals` and a latency line in the text.
+TEST(Report, LatencyPercentilesPropagate) {
+  workloads::WorkloadConfig wcfg;
+  wcfg.local_work = 0;
+  auto wl = workloads::make_workload("dht", wcfg);
+  runtime::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 0;
+  cfg.topology.min_delay = sim_us(1);
+  cfg.topology.max_delay = sim_us(20);
+  runtime::Cluster cluster(cfg);
+  wl->setup(cluster);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 8; ++i) {
+    const auto op = wl->next_op(0, rng);
+    ASSERT_TRUE(cluster.execute(0, op.profile, op.body).committed);
+  }
+  const auto report = runtime::collect_report(cluster);
+  EXPECT_EQ(report.totals.latency.count(), 8u);
+  EXPECT_GT(report.totals.latency.value_at_percentile(50), 0u);
+  EXPECT_GE(report.totals.latency.value_at_percentile(99),
+            report.totals.latency.value_at_percentile(50));
+  EXPECT_NE(report.to_string().find("latency ms p50="), std::string::npos);
+  cluster.shutdown();
+}
+
+// Histogram overflow (latencies beyond the histogram range) must be called
+// out in the report rather than silently clamping the tail.
+TEST(Report, LatencyOverflowSurfaces) {
+  runtime::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.workers_per_node = 0;
+  runtime::Cluster cluster(cfg);
+  cluster.node(0).metrics().record_latency(1ull << 60);  // beyond 2^40 range
+  const auto report = runtime::collect_report(cluster);
+  EXPECT_EQ(report.totals.latency.overflow_count(), 1u);
+  EXPECT_NE(report.to_string().find("latency histogram overflow"), std::string::npos);
   cluster.shutdown();
 }
 

@@ -4,8 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <numeric>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -13,6 +17,7 @@
 #include "util/bloom_filter.hpp"
 #include "util/config.hpp"
 #include "util/histogram.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 #include "util/stats.hpp"
@@ -186,6 +191,128 @@ TEST(Histogram, ResetClears) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.value_at_percentile(50), 0u);
+}
+
+// Regression: a single sample must be returned exactly for every percentile.
+// The old interpolation returned the bucket midpoint, which for a value at
+// the low edge of a wide log bucket overshot by up to half the bucket width.
+TEST(Histogram, SingleSampleExactAtEveryPercentile) {
+  Histogram h;
+  const std::uint64_t v = 1'015'807;  // low edge of a 2^15-wide bucket
+  h.add(v);
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(h.value_at_percentile(p), v) << "p=" << p;
+}
+
+// Regression: p=0 must map to the smallest recorded sample, not to 0 or a
+// value below the recorded minimum.
+TEST(Histogram, PercentileZeroIsTheMinimum) {
+  Histogram h;
+  h.add(1000);
+  for (int i = 0; i < 999; ++i) h.add(1'000'000);
+  EXPECT_GE(h.value_at_percentile(0), h.min());
+  EXPECT_NEAR(static_cast<double>(h.value_at_percentile(0)), 1000.0, 1000.0 / 16);
+  EXPECT_EQ(h.value_at_percentile(100), h.max());
+}
+
+// Percentiles are clamped to [min, max] and monotone in p.
+TEST(Histogram, PercentilesClampedAndMonotone) {
+  Histogram h;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) h.add(500 + rng.below(1 << 22));
+  std::uint64_t prev = 0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const std::uint64_t v = h.value_at_percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+// Values above the configured range are counted (clamped into the top
+// bucket) and reported via overflow_count() instead of silently skewing.
+TEST(Histogram, OverflowCountedNotDropped) {
+  Histogram h(1000);
+  h.add(500);
+  h.add(1u << 20);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.max(), 1u << 20);  // true extreme still tracked
+  EXPECT_LE(h.value_at_percentile(100), std::uint64_t{1} << 20);
+}
+
+TEST(Histogram, MergeAddsOverflow) {
+  Histogram a(1000), b(1000);
+  a.add(2000);
+  b.add(3000);
+  b.add(10);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.overflow_count(), 2u);
+}
+
+// subtract() turns two monotonic snapshots into the window in between.
+TEST(Histogram, SubtractLeavesTheWindow) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(100);
+  const Histogram before = h;
+  for (int i = 0; i < 1000; ++i) h.add(10000);
+  h.subtract(before);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_NEAR(static_cast<double>(h.value_at_percentile(50)), 10000.0, 10000.0 / 16);
+  EXPECT_GT(h.min(), 100u);  // the pre-window samples are gone
+}
+
+// ----------------------------------------------------------- JsonWriter ----
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("\n\r\t\b\f"), "\\n\\r\\t\\b\\f");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonWriter, CompactNestedDocument) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("a").begin_array().value(1).value(2.5).end_array();
+  w.field("s", "x\"y").field("b", true).key("n").null();
+  w.key("o").begin_object().field("k", std::uint64_t{7}).end_object();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "{\"a\":[1,2.5],\"s\":\"x\\\"y\",\"b\":true,\"n\":null,"
+                     "\"o\":{\"k\":7}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  JsonWriter w(2);
+  w.begin_object().field("k", 1).end_object();
+  EXPECT_EQ(w.str(), "{\n  \"k\": 1\n}");
+}
+
+TEST(JsonWriter, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/json_writer_test.json";
+  JsonWriter w;
+  w.begin_object().field("x", 42).end_object();
+  ASSERT_TRUE(write_text_file(path, w.str()));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), w.str());
+  std::remove(path.c_str());
 }
 
 // ------------------------------------------------------------------ RNG ----
