@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "bench/bench_result.hpp"
+#include "core/scheduler.hpp"
 #include "util/csv.hpp"
 
 namespace hyflow::bench {
@@ -42,6 +43,7 @@ HarnessOptions HarnessOptions::from_config(const Config& cfg) {
   opt.csv_path = cfg.get_string("csv", "");
   opt.json_path = cfg.get_string("json", "");
   opt.workloads = split_csv_list(cfg.get_string("workloads", ""));
+  opt.schedulers = split_csv_list(cfg.get_string("schedulers", ""));
   return opt;
 }
 
@@ -77,6 +79,18 @@ void write_bench_json(const BenchResult& result, const HarnessOptions& opt) {
 
 std::vector<std::string> selected_workloads(const HarnessOptions& opt) {
   return opt.workloads.empty() ? workloads::workload_names() : opt.workloads;
+}
+
+std::vector<std::string> selected_schedulers(const HarnessOptions& opt) {
+  if (opt.schedulers.empty()) return core::scheduler_names();
+  std::vector<std::string> names;
+  for (const auto& s : opt.schedulers) {
+    const auto canonical = core::canonical_scheduler_name(s);
+    // Pass unknown names through: make_scheduler reports them fatally with
+    // the valid list, which beats silently dropping a misspelled policy.
+    names.push_back(canonical.empty() ? s : canonical);
+  }
+  return names;
 }
 
 std::uint32_t tuned_threshold(const std::string& workload) {
@@ -127,10 +141,15 @@ runtime::ExperimentResult run_point(const HarnessOptions& opt, const std::string
   const auto& median = results[results.size() / 2];
   const std::uint32_t threshold =
       threshold_override ? threshold_override : tuned_threshold(workload);
+  // Label points with the canonical policy name so aliases ("backoff",
+  // "bi") and the per-policy abort breakdowns they carry diff cleanly
+  // across runs.
+  const std::string canonical = core::canonical_scheduler_name(scheduler);
+  const std::string& policy = canonical.empty() ? scheduler : canonical;
   if (opt.sink) {
     opt.sink->add_point()
         .label("workload", workload)
-        .label("scheduler", scheduler)
+        .label("scheduler", policy)
         .label("nodes", static_cast<std::int64_t>(nodes))
         .label("read_ratio", read_ratio)
         .label("threshold", static_cast<std::int64_t>(threshold))
@@ -144,7 +163,7 @@ runtime::ExperimentResult run_point(const HarnessOptions& opt, const std::string
     csv.row()
         .cell(opt.bench_name)
         .cell(workload)
-        .cell(scheduler)
+        .cell(policy)
         .cell(static_cast<std::uint64_t>(nodes))
         .cell(read_ratio)
         .cell(static_cast<std::uint64_t>(threshold))

@@ -19,6 +19,8 @@
 //   --json=FILE             machine-readable result file (default
 //                           BENCH_<bench>.json; "none" disables)
 //   --workloads=a,b         restrict multi-workload benches to a subset
+//   --schedulers=rts,tfa    restrict the policy sweep (default: every
+//                           policy registered in core::scheduler_names())
 #pragma once
 
 #include <string>
@@ -53,6 +55,9 @@ struct HarnessOptions {
   // Workload subset for benches that sweep every registered workload
   // (empty = all). Lets CI smoke runs measure one workload cheaply.
   std::vector<std::string> workloads;
+  // Scheduler-policy subset for benches that sweep the zoo (empty = every
+  // registered policy, canonical names, factory order).
+  std::vector<std::string> schedulers;
   // When set, run_point appends every measured point here (labels:
   // workload/scheduler/nodes/read_ratio/threshold + the standard metrics).
   BenchResult* sink = nullptr;
@@ -70,6 +75,11 @@ void write_bench_json(const BenchResult& result, const HarnessOptions& opt);
 
 // The workloads this run sweeps: opt.workloads if given, else all registered.
 std::vector<std::string> selected_workloads(const HarnessOptions& opt);
+
+// The scheduler policies this run sweeps: opt.schedulers (canonicalized —
+// an unknown name dies in make_scheduler with the valid list) if given,
+// else every policy in core::scheduler_names().
+std::vector<std::string> selected_schedulers(const HarnessOptions& opt);
 
 // CL threshold at the per-benchmark throughput peak (found by the
 // ablation bench; the paper determines it the same way).

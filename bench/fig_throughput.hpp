@@ -1,8 +1,14 @@
-// Shared driver for Figures 4 and 5: transactional throughput vs node count
-// for RTS / TFA / TFA+Backoff, one series-block per benchmark.
+// Shared driver for Figures 4 and 5: transactional throughput vs node count,
+// swept head-to-head across every registered scheduler policy (the paper's
+// RTS/TFA/TFA+Backoff plus the zoo challengers), one series-block per
+// benchmark and one labelled BENCH_*.json point per (workload, policy,
+// nodes). Restrict with --schedulers=rts,tfa,... for the paper's original
+// three-way figure.
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_result.hpp"
 #include "bench/common.hpp"
@@ -14,10 +20,16 @@ inline int run_throughput_figure(int argc, char** argv, const char* title, bool 
   auto opt = HarnessOptions::from_config(cfg);
   opt.bench_name = low_contention ? "fig4_throughput_low" : "fig5_throughput_high";
   const double read_ratio = low_contention ? opt.read_ratio_low : opt.read_ratio_high;
+  const auto schedulers = selected_schedulers(opt);
 
   BenchResult bench = make_bench_result(opt);
   bench.meta("contention", low_contention ? "low" : "high");
   bench.meta("read_ratio", read_ratio);
+  {
+    std::string joined;
+    for (const auto& s : schedulers) joined += (joined.empty() ? "" : ",") + s;
+    bench.meta("schedulers", joined);
+  }
   opt.sink = &bench;
 
   print_header(title, opt);
@@ -25,20 +37,20 @@ inline int run_throughput_figure(int argc, char** argv, const char* title, bool 
 
   for (const auto& workload : selected_workloads(opt)) {
     std::printf("## %s (%s contention)\n", workload.c_str(), low_contention ? "low" : "high");
-    std::printf("%-6s %12s %12s %12s\n", "nodes", "RTS", "TFA", "TFA+Backoff");
+    std::printf("%-6s", "nodes");
+    for (const auto& scheduler : schedulers) std::printf(" %14s", scheduler.c_str());
+    std::printf("\n");
     for (const auto nodes : opt.node_sweep) {
-      double thr[3];
-      int i = 0;
-      for (const char* scheduler : {"rts", "tfa", "backoff"}) {
+      std::printf("%-6lld", static_cast<long long>(nodes));
+      for (const auto& scheduler : schedulers) {
         const auto result = run_point(opt, workload, scheduler,
                                       static_cast<std::uint32_t>(nodes), read_ratio);
-        thr[i++] = result.throughput;
+        std::printf(" %14.1f", result.throughput);
         if (!result.verified)
-          std::printf("!! %s/%s/n=%lld failed verification\n", workload.c_str(), scheduler,
-                      static_cast<long long>(nodes));
+          std::printf("\n!! %s/%s/n=%lld failed verification", workload.c_str(),
+                      scheduler.c_str(), static_cast<long long>(nodes));
       }
-      std::printf("%-6lld %12.1f %12.1f %12.1f\n", static_cast<long long>(nodes), thr[0],
-                  thr[1], thr[2]);
+      std::printf("\n");
       std::fflush(stdout);
     }
     std::printf("\n");

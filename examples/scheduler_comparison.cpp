@@ -1,13 +1,16 @@
-// Scheduler-comparison example: runs the same workload under RTS, plain TFA
-// and TFA+Backoff on identical clusters and prints a side-by-side summary —
-// a minimal, self-contained version of the paper's evaluation loop, and a
-// template for plugging a *custom* scheduler into the runtime (see
-// core::Scheduler; `make_scheduler` is the only registry).
+// Scheduler-comparison example: runs the same workload under every
+// registered policy (RTS, TFA, TFA+Backoff, Bi-interval, Greedy,
+// Karma/Polka, steal-on-abort — see docs/SCHEDULERS.md) on identical
+// clusters and prints a side-by-side summary — a minimal, self-contained
+// version of the paper's evaluation loop, and a template for plugging a
+// *custom* scheduler into the runtime (see core::Scheduler; the registry in
+// core/scheduler_factory.cpp is the only place to add one).
 //
 //   ./build/examples/scheduler_comparison [--workload=bank] [--nodes=10]
 //   [--read-ratio=0.1] [--duration-ms=400]
 #include <cstdio>
 
+#include "core/scheduler.hpp"
 #include "runtime/experiment.hpp"
 #include "util/config.hpp"
 #include "workloads/registry.hpp"
@@ -22,10 +25,10 @@ int main(int argc, char** argv) {
 
   std::printf("workload=%s nodes=%u read-ratio=%.2f\n\n", workload_name.c_str(), nodes,
               read_ratio);
-  std::printf("%-12s %10s %10s %10s %10s %10s %10s\n", "scheduler", "txn/s", "aborts/c",
+  std::printf("%-14s %10s %10s %10s %10s %10s %10s\n", "scheduler", "txn/s", "aborts/c",
               "nested-ar", "enqueued", "handoffs", "msgs/c");
 
-  for (const char* scheduler : {"rts", "tfa", "backoff"}) {
+  for (const auto& scheduler : core::scheduler_names()) {
     runtime::ExperimentConfig cfg;
     cfg.cluster.nodes = nodes;
     cfg.cluster.workers_per_node = 3;
@@ -41,7 +44,7 @@ int main(int argc, char** argv) {
     const auto r = runtime::run_experiment(*workload, cfg);
 
     const double commits = std::max<double>(1.0, static_cast<double>(r.delta.commits_root));
-    std::printf("%-12s %10.1f %10.2f %9.1f%% %10llu %10llu %10.1f%s\n", scheduler,
+    std::printf("%-14s %10.1f %10.2f %9.1f%% %10llu %10llu %10.1f%s\n", scheduler.c_str(),
                 r.throughput, static_cast<double>(r.delta.aborts_total()) / commits,
                 r.nested_abort_rate * 100.0,
                 static_cast<unsigned long long>(r.delta.enqueued),

@@ -1,21 +1,4 @@
 #include "core/backoff_scheduler.hpp"
 
-#include "core/bi_interval_scheduler.hpp"
-#include "core/rts_scheduler.hpp"
-#include "core/tfa_scheduler.hpp"
-#include "util/assert.hpp"
-
-namespace hyflow::core {
-
-std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg) {
-  if (cfg.kind == "rts") return std::make_unique<RtsScheduler>(cfg);
-  if (cfg.kind == "tfa") return std::make_unique<TfaScheduler>();
-  if (cfg.kind == "backoff" || cfg.kind == "tfa+backoff")
-    return std::make_unique<BackoffScheduler>(cfg);
-  if (cfg.kind == "bi-interval" || cfg.kind == "bi")
-    return std::make_unique<BiIntervalScheduler>(cfg);
-  HYFLOW_ASSERT_MSG(false, "unknown scheduler kind");
-  return nullptr;
-}
-
-}  // namespace hyflow::core
+// All behaviour is inline; this TU anchors the vtable. The scheduler
+// factory lives in core/scheduler_factory.cpp.

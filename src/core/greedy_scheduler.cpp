@@ -1,0 +1,57 @@
+#include "core/greedy_scheduler.hpp"
+
+#include <algorithm>
+
+namespace hyflow::core {
+
+GreedyScheduler::GreedyScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
+
+ConflictDecision GreedyScheduler::on_conflict(const ConflictContext& ctx) {
+  return table_.with_list(ctx.oid, [&](RequesterList& list) -> ConflictDecision {
+    list.remove_duplicate(ctx.request.txid);
+    if (list.size() >= cfg_.max_queue) return {ConflictAction::kAbort, 0};
+
+    // Rank = first-attempt start timestamp: the queue stays sorted oldest
+    // first, so pop_head_group always serves the most senior requester(s).
+    net::QueuedRequester r{ctx.requester_node, ctx.request.txid, ctx.request_msg_id,
+                           ctx.request.mode, ctx.local_cl,
+                           static_cast<std::uint64_t>(ctx.request.ets.start)};
+    list.add_sorted(list.contention() + 1, std::move(r));
+
+    // The parked open waits out the validator plus everything queued; the
+    // newcomer's own expected remainder joins the accumulator so later
+    // arrivals wait behind it.
+    const SimDuration backoff = ctx.validator_remaining + list.bk() + cfg_.handoff_slack;
+    list.add_bk(std::clamp<SimDuration>(
+        ctx.request.ets.expected_commit - ctx.request.ets.request, cfg_.min_backoff,
+        cfg_.max_backoff));
+    return {ConflictAction::kEnqueue, backoff};
+  });
+}
+
+std::vector<net::QueuedRequester> GreedyScheduler::on_object_available(ObjectId oid) {
+  return table_.pop_head_group(oid);
+}
+
+std::vector<net::QueuedRequester> GreedyScheduler::extract_queue(ObjectId oid) {
+  return table_.drain(oid);
+}
+
+void GreedyScheduler::absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) {
+  if (queue.empty()) return;
+  table_.with_list(oid, [&](RequesterList& list) {
+    for (auto& r : queue) {
+      list.remove_duplicate(r.txid);
+      list.add_sorted(std::max(list.contention(), r.contention), std::move(r));
+    }
+    return 0;
+  });
+}
+
+void GreedyScheduler::remove_requester(ObjectId oid, TxnId txid) { table_.remove(oid, txid); }
+
+std::size_t GreedyScheduler::queue_depth(ObjectId oid) const { return table_.depth(oid); }
+
+std::size_t GreedyScheduler::total_queued() const { return table_.total_queued(); }
+
+}  // namespace hyflow::core

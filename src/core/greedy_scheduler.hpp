@@ -1,0 +1,46 @@
+// Greedy contention manager (Guerraoui, Herlihy & Pochon, PODC 2005) adapted
+// to the owner-side conflict hook of this D-STM: priority is the
+// transaction's first-attempt start timestamp (ETS.s, which survives aborts),
+// and the oldest transaction wins.
+//
+// The classic formulation aborts the *younger* of the two parties. Here the
+// losing party is always the requester (the validator holds the object and
+// cannot be aborted mid-commit), so age decides between *waiting* and
+// *aborting* instead:
+//   * the requester parks in timestamp order — an older transaction is
+//     inserted ahead of every younger one and is served first when the
+//     object frees up, so seniority is never starved, and
+//   * a requester that would overflow the queue cap aborts and retries —
+//     timestamps keep rising monotonically, so a retrying old transaction
+//     keeps its priority and eventually outranks the queue.
+//
+// Sharma & Busch's competitive analysis (PAPERS.md) uses exactly this
+// Greedy-style timestamp manager as the baseline a reactive scheduler must
+// beat, which is why it earns a slot in the zoo.
+#pragma once
+
+#include "core/requester_list.hpp"
+#include "core/scheduler.hpp"
+
+namespace hyflow::core {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  explicit GreedyScheduler(const SchedulerConfig& cfg);
+
+  const char* name() const override { return "greedy"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override;
+  std::vector<net::QueuedRequester> on_object_available(ObjectId oid) override;
+  std::vector<net::QueuedRequester> extract_queue(ObjectId oid) override;
+  void absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) override;
+  void remove_requester(ObjectId oid, TxnId txid) override;
+  std::size_t queue_depth(ObjectId oid) const override;
+  std::size_t total_queued() const override;
+
+ private:
+  SchedulerConfig cfg_;
+  SchedulingTable table_;
+};
+
+}  // namespace hyflow::core

@@ -1,0 +1,99 @@
+#include "core/karma_scheduler.hpp"
+
+#include <algorithm>
+
+namespace hyflow::core {
+
+namespace {
+
+// Investment rank: highest invested work is served first, so the wire rank
+// (lower = served first) is the inverted investment.
+std::uint64_t investment_rank(SimDuration invested) {
+  const auto work = static_cast<std::uint64_t>(std::max<SimDuration>(invested, 0));
+  return ~work;  // UINT64_MAX - work
+}
+
+}  // namespace
+
+KarmaScheduler::KarmaScheduler(const SchedulerConfig& cfg)
+    : cfg_(cfg), rng_(cfg.karma_seed) {}
+
+SimDuration KarmaScheduler::draw_backoff(std::uint32_t losses) {
+  // Polka: uniform draw from a window doubling per consecutive loss.
+  const std::uint32_t exponent = std::min<std::uint32_t>(losses, 10);
+  const SimDuration window =
+      std::min<SimDuration>(cfg_.min_backoff << exponent, cfg_.max_backoff);
+  const auto lo = static_cast<std::uint64_t>(cfg_.min_backoff);
+  const auto hi = static_cast<std::uint64_t>(std::max<SimDuration>(window, cfg_.min_backoff));
+  return static_cast<SimDuration>(lo + rng_.below(hi - lo + 1));
+}
+
+ConflictDecision KarmaScheduler::on_conflict(const ConflictContext& ctx) {
+  const SimDuration invested = ctx.request.ets.request - ctx.request.ets.start;
+  const TxnKey key{ctx.requester_node, ctx.request.ets.start};
+
+  return table_.with_list(ctx.oid, [&](RequesterList& list) -> ConflictDecision {
+    list.remove_duplicate(ctx.request.txid);
+
+    MutexLock lk(karma_mu_);
+    const auto streak_it = losses_.find(key);
+    const std::uint32_t losses = streak_it == losses_.end() ? 0 : streak_it->second;
+    const SimDuration boost = static_cast<SimDuration>(losses) * cfg_.handoff_slack;
+    const std::uint64_t rank = investment_rank(invested + boost);
+
+    // The queue is sorted by inverted investment, so its *tail* carries the
+    // smallest investment — the bar a newcomer must clear to join. Losing
+    // (under-invested, or queue full) costs an abort plus a randomized
+    // exponentially-growing stall, and raises the loser's karma so a repeat
+    // offender eventually clears the bar.
+    if (list.size() >= cfg_.max_queue || (!list.empty() && rank > list.tail_priority())) {
+      if (losses_.size() > 4096) losses_.clear();  // crude bound; streaks re-learn
+      losses_[key] = losses + 1;
+      return {ConflictAction::kAbortWithStall, draw_backoff(losses + 1)};
+    }
+
+    // Win: park ranked by investment; forget the streak.
+    losses_.erase(key);
+    net::QueuedRequester r{ctx.requester_node, ctx.request.txid, ctx.request_msg_id,
+                           ctx.request.mode, ctx.local_cl, rank};
+    list.add_sorted(list.contention() + 1, std::move(r));
+    const SimDuration backoff = ctx.validator_remaining + list.bk() + cfg_.handoff_slack;
+    list.add_bk(std::clamp<SimDuration>(
+        ctx.request.ets.expected_commit - ctx.request.ets.request, cfg_.min_backoff,
+        cfg_.max_backoff));
+    return {ConflictAction::kEnqueue, backoff};
+  });
+}
+
+std::vector<net::QueuedRequester> KarmaScheduler::on_object_available(ObjectId oid) {
+  return table_.pop_head_group(oid);
+}
+
+std::vector<net::QueuedRequester> KarmaScheduler::extract_queue(ObjectId oid) {
+  return table_.drain(oid);
+}
+
+void KarmaScheduler::absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) {
+  if (queue.empty()) return;
+  table_.with_list(oid, [&](RequesterList& list) {
+    for (auto& r : queue) {
+      list.remove_duplicate(r.txid);
+      list.add_sorted(std::max(list.contention(), r.contention), std::move(r));
+    }
+    return 0;
+  });
+}
+
+void KarmaScheduler::remove_requester(ObjectId oid, TxnId txid) { table_.remove(oid, txid); }
+
+std::size_t KarmaScheduler::queue_depth(ObjectId oid) const { return table_.depth(oid); }
+
+std::size_t KarmaScheduler::total_queued() const { return table_.total_queued(); }
+
+std::uint32_t KarmaScheduler::loss_streak(NodeId node, SimTime ets_start) const {
+  MutexLock lk(karma_mu_);
+  const auto it = losses_.find(TxnKey{node, ets_start});
+  return it == losses_.end() ? 0 : it->second;
+}
+
+}  // namespace hyflow::core

@@ -1,0 +1,70 @@
+// Karma/Polka contention manager (Scherer & Scott, PODC 2005 / "Polka" =
+// Karma + randomized exponential backoff) adapted to the owner-side conflict
+// hook.
+//
+// Priority is the work a transaction has invested since its *first* attempt
+// (ETS.r - ETS.s — investment survives aborts, exactly like Karma's opened-
+// object count), plus a karma boost earned per lost conflict. On conflict:
+//   * the requester *wins* when its invested work matches or exceeds the
+//     smallest investment already queued on the object — it parks, ranked by
+//     investment (biggest first), and is served before lighter waiters;
+//   * it *loses* otherwise: it aborts and stalls for a randomized
+//     exponentially-growing backoff (Polka's signature move) whose exponent
+//     is its consecutive-loss streak, and its karma rises so a repeat
+//     offender eventually outranks the queue.
+//
+// Loss streaks are keyed by (requester node, ETS.s) — the stable identity of
+// a root transaction across retries, since every retry keeps its original
+// first-attempt timestamp — and are dropped on a win or when the table is
+// swept (bounded memory).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/requester_list.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace hyflow::core {
+
+class KarmaScheduler : public Scheduler {
+ public:
+  explicit KarmaScheduler(const SchedulerConfig& cfg);
+
+  const char* name() const override { return "karma"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override;
+  std::vector<net::QueuedRequester> on_object_available(ObjectId oid) override;
+  std::vector<net::QueuedRequester> extract_queue(ObjectId oid) override;
+  void absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) override;
+  void remove_requester(ObjectId oid, TxnId txid) override;
+  std::size_t queue_depth(ObjectId oid) const override;
+  std::size_t total_queued() const override;
+
+  // Test hook: consecutive losses currently charged to (node, ets_start).
+  std::uint32_t loss_streak(NodeId node, SimTime ets_start) const;
+
+ private:
+  struct TxnKey {
+    NodeId node;
+    SimTime start;
+    bool operator==(const TxnKey&) const = default;
+  };
+  struct TxnKeyHash {
+    std::size_t operator()(const TxnKey& k) const {
+      return mix64((static_cast<std::uint64_t>(k.node) << 48) ^
+                   static_cast<std::uint64_t>(k.start));
+    }
+  };
+
+  // Randomized exponential backoff for the `losses`-th consecutive loss.
+  SimDuration draw_backoff(std::uint32_t losses) REQUIRES(karma_mu_);
+
+  SchedulerConfig cfg_;
+  SchedulingTable table_;
+  mutable Mutex karma_mu_{LockRank::kSchedulerAux, "KarmaScheduler::karma_mu"};
+  std::unordered_map<TxnKey, std::uint32_t, TxnKeyHash> losses_ GUARDED_BY(karma_mu_);
+  Xoshiro256 rng_ GUARDED_BY(karma_mu_);
+};
+
+}  // namespace hyflow::core

@@ -9,6 +9,15 @@ void RequesterList::add(std::uint32_t contention, net::QueuedRequester requester
   queue_.push_back(std::move(requester));
 }
 
+void RequesterList::add_sorted(std::uint32_t contention, net::QueuedRequester requester) {
+  contention_level_ = contention;
+  const auto pos = std::find_if(queue_.begin(), queue_.end(),
+                                [&](const net::QueuedRequester& r) {
+                                  return r.priority > requester.priority;
+                                });
+  queue_.insert(pos, std::move(requester));
+}
+
 bool RequesterList::remove_duplicate(TxnId txid) {
   const auto it = std::find_if(queue_.begin(), queue_.end(),
                                [&](const net::QueuedRequester& r) { return r.txid == txid; });

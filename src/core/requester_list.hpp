@@ -30,6 +30,15 @@ class RequesterList {
   // Alg. 1 addRequester(Contention_Level, Requester).
   void add(std::uint32_t contention, net::QueuedRequester requester);
 
+  // Priority-ordered insertion for timestamp/karma policies: the entry goes
+  // before the first queued requester with a strictly greater `priority`
+  // (stable among equals, so FIFO ties break by arrival).
+  void add_sorted(std::uint32_t contention, net::QueuedRequester requester);
+
+  // Priority of the youngest/lowest-ranked queued requester (the back of a
+  // sorted queue); 0 when empty.
+  std::uint64_t tail_priority() const { return queue_.empty() ? 0 : queue_.back().priority; }
+
   // Alg. 1 removeDuplicate(Address): a transaction whose backoff expired
   // re-requests as new; drop its stale entry. We match on txid rather than
   // node address — several transactions from one node may be queued, and

@@ -94,7 +94,7 @@ class Scheduler {
 };
 
 struct SchedulerConfig {
-  std::string kind = "rts";                 // rts | tfa | backoff
+  std::string kind = "rts";                 // see scheduler_names()
   std::uint32_t cl_threshold = 3;           // RTS: CL threshold (paper §III-B)
   bool adaptive_threshold = false;          // RTS: hill-climb the threshold
   SimDuration min_backoff = sim_us(100);    // clamp for unseeded stats tables
@@ -103,8 +103,24 @@ struct SchedulerConfig {
   // Extra wait granted on top of the computed queue position: covers the
   // hand-off hops (commit ack -> queue transfer -> object push).
   SimDuration handoff_slack = sim_ms(6);
+  // Queue cap for the park-everything challengers (greedy, karma,
+  // steal-on-abort): a conflicting requester that would make the per-object
+  // queue longer than this aborts instead of parking.
+  std::uint32_t max_queue = 16;
+  // Karma/Polka: seed of the randomized exponential backoff drawn on loss.
+  std::uint64_t karma_seed = 0x5eed;
 };
 
+// Constructs the policy selected by `cfg.kind` (canonical name or alias).
+// An unknown kind is a fatal configuration error: the process aborts with a
+// message listing every valid name.
 std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg);
+
+// Canonical names of every registered policy, in bench-sweep order.
+std::vector<std::string> scheduler_names();
+
+// Maps a kind or alias ("backoff", "bi") to its canonical name; returns an
+// empty string for unknown kinds.
+std::string canonical_scheduler_name(const std::string& kind);
 
 }  // namespace hyflow::core

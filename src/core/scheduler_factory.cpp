@@ -1,0 +1,86 @@
+// The scheduler registry: one table maps every policy name (and alias) to
+// its factory, so `make_scheduler`, `scheduler_names()` and the bench
+// policy sweeps can never drift apart. Adding a policy = one table row; the
+// conformance suite (tests/scheduler_conformance_test.cpp) parameterizes
+// over `scheduler_names()`, so a new row inherits the full queue-protocol
+// invariant coverage for free.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/backoff_scheduler.hpp"
+#include "core/bi_interval_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/karma_scheduler.hpp"
+#include "core/rts_scheduler.hpp"
+#include "core/scheduler.hpp"
+#include "core/steal_on_abort_scheduler.hpp"
+#include "core/tfa_scheduler.hpp"
+
+namespace hyflow::core {
+
+namespace {
+
+struct SchedulerKind {
+  const char* canonical;
+  const char* alias;  // nullptr = none
+  std::unique_ptr<Scheduler> (*make)(const SchedulerConfig&);
+};
+
+template <typename S>
+std::unique_ptr<Scheduler> construct(const SchedulerConfig& cfg) {
+  return std::make_unique<S>(cfg);
+}
+
+std::unique_ptr<Scheduler> construct_tfa(const SchedulerConfig&) {
+  return std::make_unique<TfaScheduler>();
+}
+
+// Bench-sweep order: the paper's three, then the extension baselines and
+// the classic contention-manager challengers.
+constexpr SchedulerKind kKinds[] = {
+    {"rts", nullptr, construct<RtsScheduler>},
+    {"tfa", nullptr, construct_tfa},
+    {"backoff", "tfa+backoff", construct<BackoffScheduler>},
+    {"bi-interval", "bi", construct<BiIntervalScheduler>},
+    {"greedy", nullptr, construct<GreedyScheduler>},
+    {"karma", "polka", construct<KarmaScheduler>},
+    {"steal-on-abort", "steal", construct<StealOnAbortScheduler>},
+};
+
+const SchedulerKind* find_kind(const std::string& kind) {
+  for (const auto& k : kKinds) {
+    if (kind == k.canonical || (k.alias && kind == k.alias)) return &k;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg) {
+  if (const SchedulerKind* kind = find_kind(cfg.kind)) return kind->make(cfg);
+  // A misspelled policy silently falling back to some default would corrupt
+  // every result labelled with the requested name — die loudly instead,
+  // with the menu.
+  std::fprintf(stderr, "unknown scheduler kind '%s'; valid kinds:", cfg.kind.c_str());
+  for (const auto& k : kKinds) {
+    std::fprintf(stderr, " %s", k.canonical);
+    if (k.alias) std::fprintf(stderr, " (alias: %s)", k.alias);
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::vector<std::string> scheduler_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kKinds));
+  for (const auto& k : kKinds) names.emplace_back(k.canonical);
+  return names;
+}
+
+std::string canonical_scheduler_name(const std::string& kind) {
+  const SchedulerKind* k = find_kind(kind);
+  return k ? k->canonical : "";
+}
+
+}  // namespace hyflow::core

@@ -1,0 +1,59 @@
+#include "core/steal_on_abort_scheduler.hpp"
+
+#include <algorithm>
+
+namespace hyflow::core {
+
+StealOnAbortScheduler::StealOnAbortScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
+
+ConflictDecision StealOnAbortScheduler::on_conflict(const ConflictContext& ctx) {
+  return table_.with_list(ctx.oid, [&](RequesterList& list) -> ConflictDecision {
+    list.remove_duplicate(ctx.request.txid);
+    // Steal every conflicting requester, FIFO, bounded only by the cap —
+    // no execution-time or contention heuristics.
+    if (list.size() >= cfg_.max_queue) return {ConflictAction::kAbort, 0};
+    const SimDuration backoff = ctx.validator_remaining + list.bk() + cfg_.handoff_slack;
+    list.add_bk(std::clamp<SimDuration>(
+        ctx.request.ets.expected_commit - ctx.request.ets.request, cfg_.min_backoff,
+        cfg_.max_backoff));
+    list.add(list.contention() + 1,
+             net::QueuedRequester{ctx.requester_node, ctx.request.txid, ctx.request_msg_id,
+                                  ctx.request.mode, ctx.local_cl, 0});
+    return {ConflictAction::kEnqueue, backoff};
+  });
+}
+
+std::vector<net::QueuedRequester> StealOnAbortScheduler::on_object_available(ObjectId oid) {
+  return table_.pop_head_group(oid);
+}
+
+std::vector<net::QueuedRequester> StealOnAbortScheduler::extract_queue(ObjectId oid) {
+  return table_.drain(oid);
+}
+
+void StealOnAbortScheduler::absorb_queue(ObjectId oid,
+                                         std::vector<net::QueuedRequester> queue) {
+  if (queue.empty()) return;
+  // The stolen requesters are re-queued *behind* anything already parked at
+  // the winner's node: they lost to the committed transaction, so everyone
+  // who queued against the fresh copy goes first.
+  table_.with_list(oid, [&](RequesterList& list) {
+    for (auto& r : queue) {
+      list.remove_duplicate(r.txid);
+      list.add(std::max(list.contention(), r.contention), std::move(r));
+    }
+    return 0;
+  });
+}
+
+void StealOnAbortScheduler::remove_requester(ObjectId oid, TxnId txid) {
+  table_.remove(oid, txid);
+}
+
+std::size_t StealOnAbortScheduler::queue_depth(ObjectId oid) const {
+  return table_.depth(oid);
+}
+
+std::size_t StealOnAbortScheduler::total_queued() const { return table_.total_queued(); }
+
+}  // namespace hyflow::core

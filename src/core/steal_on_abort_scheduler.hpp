@@ -1,0 +1,41 @@
+// Steal-on-abort (Ansari et al., HiPEAC 2009) adapted to the dataflow D-STM.
+//
+// The original observation: when transaction A aborts B, making B retry
+// "blind" usually recreates the same conflict; it is cheaper for A to *steal*
+// B — park it and everything waiting behind it — and release the stolen
+// transactions only after A commits, serialized behind the winner.
+//
+// In this runtime the stealing mechanism is the queue hand-off that already
+// rides the commit protocol (Alg. 4): every conflicting requester is parked
+// FIFO (no admission heuristics — that contrast isolates RTS's reactive
+// abort/enqueue rule), and when the winner commits and ownership moves, the
+// loser-side queue travels with the object (extract_queue/absorb_queue) and
+// is re-queued *behind* whatever the winner's node has parked meanwhile —
+// the stolen requesters wait for the winner instead of retrying blind.
+#pragma once
+
+#include "core/requester_list.hpp"
+#include "core/scheduler.hpp"
+
+namespace hyflow::core {
+
+class StealOnAbortScheduler : public Scheduler {
+ public:
+  explicit StealOnAbortScheduler(const SchedulerConfig& cfg);
+
+  const char* name() const override { return "steal-on-abort"; }
+
+  ConflictDecision on_conflict(const ConflictContext& ctx) override;
+  std::vector<net::QueuedRequester> on_object_available(ObjectId oid) override;
+  std::vector<net::QueuedRequester> extract_queue(ObjectId oid) override;
+  void absorb_queue(ObjectId oid, std::vector<net::QueuedRequester> queue) override;
+  void remove_requester(ObjectId oid, TxnId txid) override;
+  std::size_t queue_depth(ObjectId oid) const override;
+  std::size_t total_queued() const override;
+
+ private:
+  SchedulerConfig cfg_;
+  SchedulingTable table_;
+};
+
+}  // namespace hyflow::core

@@ -29,7 +29,7 @@ struct SizeVisitor {
     return 48 + (r.object ? r.object->wire_size() : 0);
   }
   std::size_t operator()(const CommitResponse& r) const {
-    return 32 + r.queue.size() * 24;
+    return 32 + r.queue.size() * 32;
   }
   template <typename T>
   std::size_t operator()(const T&) const {

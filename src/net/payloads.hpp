@@ -119,6 +119,11 @@ struct QueuedRequester {
   std::uint64_t reply_msg_id = 0;  // msg_id of the parked ObjectRequest
   AccessMode mode = AccessMode::kRead;
   std::uint32_t contention = 0;    // CL recorded when enqueued
+  // Policy-defined scheduling rank (lower = served first), carried across
+  // ownership hand-offs so the inheriting scheduler keeps its order: Greedy
+  // stores the requester's first-start timestamp (older = served first),
+  // Karma the inverted accumulated work. FIFO policies leave it 0.
+  std::uint64_t priority = 0;
 };
 
 struct CommitRequest {

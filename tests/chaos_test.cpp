@@ -11,8 +11,10 @@
 
 #include <chrono>
 #include <future>
+#include <string>
 #include <vector>
 
+#include "core/scheduler.hpp"
 #include "net/fault_injector.hpp"
 #include "net/message.hpp"
 #include "runtime/experiment.hpp"
@@ -159,7 +161,8 @@ TEST(FaultInjector, DifferentSeedInjectsDifferentPattern) {
 // Runs the bank workload under `plan` with a hard liveness deadline: the
 // run must finish — commit transactions, quiesce, shut down — long before
 // the deadline, and the balance total must be exactly conserved.
-void run_bank_chaos(const net::FaultPlan& plan, SimDuration warmup, SimDuration measure) {
+void run_bank_chaos(const net::FaultPlan& plan, SimDuration warmup, SimDuration measure,
+                    const std::string& scheduler = "rts") {
   workloads::WorkloadConfig wcfg;
   wcfg.read_ratio = 0.2;
   wcfg.objects_per_node = 5;
@@ -169,7 +172,7 @@ void run_bank_chaos(const net::FaultPlan& plan, SimDuration warmup, SimDuration 
   runtime::ExperimentConfig cfg;
   cfg.cluster.nodes = 4;
   cfg.cluster.workers_per_node = 2;
-  cfg.cluster.scheduler.kind = "rts";
+  cfg.cluster.scheduler.kind = scheduler;
   cfg.cluster.topology.min_delay = sim_us(20);
   cfg.cluster.topology.max_delay = sim_us(400);
   cfg.cluster.fault = plan;
@@ -216,6 +219,29 @@ TEST(Chaos, BankSurvivesTailSpikesAndDrops) {
   plan.seed = 99;
   run_bank_chaos(plan, sim_ms(40), sim_ms(250));
 }
+
+// Every scheduler policy — including the zoo challengers with their parked
+// queues and priority hand-offs — must keep both chaos properties (liveness
+// and exact conservation) under drop + duplication. A policy whose queue
+// leaks a requester when the grant path loses messages hangs here.
+class ChaosPolicySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosPolicySweep, BankSurvivesDropAndDuplication) {
+  net::FaultPlan plan;
+  plan.drop = 0.02;
+  plan.duplicate = 0.01;
+  plan.seed = 42;
+  run_bank_chaos(plan, sim_ms(40), sim_ms(200), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ChaosPolicySweep,
+                         ::testing::ValuesIn(core::scheduler_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-' || c == '+') c = '_';
+                           return name;
+                         });
 
 TEST(Chaos, DegradationCountersSurfaceInTheReport) {
   workloads::WorkloadConfig wcfg;

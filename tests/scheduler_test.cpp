@@ -3,10 +3,16 @@
 // hand-off order (Alg. 4), the baselines, and the threshold controller.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "core/backoff_scheduler.hpp"
 #include "core/contention.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/karma_scheduler.hpp"
 #include "core/requester_list.hpp"
 #include "core/rts_scheduler.hpp"
+#include "core/steal_on_abort_scheduler.hpp"
 #include "core/tfa_scheduler.hpp"
 #include "core/threshold_controller.hpp"
 
@@ -289,7 +295,277 @@ TEST(SchedulerFactory, MakesAllKinds) {
   EXPECT_STREQ(make_scheduler(cfg)->name(), "tfa+backoff");
   cfg.kind = "tfa+backoff";
   EXPECT_STREQ(make_scheduler(cfg)->name(), "tfa+backoff");
+  cfg.kind = "bi";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "bi-interval");
+  cfg.kind = "greedy";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "greedy");
+  cfg.kind = "polka";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "karma");
+  cfg.kind = "steal";
+  EXPECT_STREQ(make_scheduler(cfg)->name(), "steal-on-abort");
 }
+
+TEST(SchedulerFactory, NamesCoverTheZoo) {
+  const auto names = scheduler_names();
+  EXPECT_GE(names.size(), 7u);
+  for (const char* expected : {"rts", "tfa", "backoff", "bi-interval", "greedy", "karma",
+                               "steal-on-abort"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing policy: " << expected;
+  }
+  for (const auto& name : names) EXPECT_EQ(canonical_scheduler_name(name), name);
+  EXPECT_EQ(canonical_scheduler_name("bi"), "bi-interval");
+  EXPECT_EQ(canonical_scheduler_name("polka"), "karma");
+  EXPECT_EQ(canonical_scheduler_name("no-such-policy"), "");
+}
+
+using SchedulerFactoryDeathTest = ::testing::Test;
+
+TEST(SchedulerFactoryDeathTest, UnknownKindDiesListingValidNames) {
+  SchedulerConfig cfg;
+  cfg.kind = "rst";  // plausible typo for "rts"
+  EXPECT_DEATH(make_scheduler(cfg),
+               "unknown scheduler kind 'rst'.*rts.*tfa.*backoff.*bi-interval.*greedy.*"
+               "karma.*steal-on-abort");
+}
+
+// ----------------------------------------------------- zoo challengers ----
+
+// Like conflict(), but with an explicit first-attempt start so timestamp /
+// investment policies see distinct transaction identities and ages.
+ConflictContext conflict_from(std::uint64_t txn, SimTime start, SimDuration exec_so_far,
+                              net::AccessMode mode = net::AccessMode::kWrite) {
+  ConflictContext ctx = conflict(txn, exec_so_far);
+  ctx.request.mode = mode;
+  ctx.request.ets.start = start;
+  ctx.request.ets.request = start + exec_so_far;
+  ctx.request.ets.expected_commit = ctx.request.ets.request + sim_ms(4);
+  ctx.now = ctx.request.ets.request;
+  return ctx;
+}
+
+SchedulerConfig zoo_config(const char* kind, std::uint32_t max_queue = 16) {
+  SchedulerConfig cfg;
+  cfg.kind = kind;
+  cfg.max_queue = max_queue;
+  cfg.handoff_slack = sim_ms(1);
+  return cfg;
+}
+
+TEST(GreedyScheduler, OldestServedFirstRegardlessOfArrival) {
+  GreedyScheduler greedy(zoo_config("greedy"));
+  // Younger (later start) arrives first, older second.
+  EXPECT_EQ(greedy.on_conflict(conflict_from(1, 2000000, sim_ms(5))).action,
+            ConflictAction::kEnqueue);
+  EXPECT_EQ(greedy.on_conflict(conflict_from(2, 1000000, sim_ms(5))).action,
+            ConflictAction::kEnqueue);
+  const auto group = greedy.on_object_available(ObjectId{1});
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].txid, TxnId{2});  // the older transaction wins
+}
+
+TEST(GreedyScheduler, EveryConflictParksBelowCap) {
+  GreedyScheduler greedy(zoo_config("greedy", /*max_queue=*/3));
+  for (std::uint64_t txn = 1; txn <= 3; ++txn) {
+    EXPECT_EQ(greedy.on_conflict(conflict_from(txn, 1000000 + txn, sim_us(10))).action,
+              ConflictAction::kEnqueue);
+  }
+  // At the cap even a very old newcomer aborts (and will retry with its
+  // timestamp intact).
+  EXPECT_EQ(greedy.on_conflict(conflict_from(9, 1, sim_ms(50))).action,
+            ConflictAction::kAbort);
+  EXPECT_EQ(greedy.queue_depth(ObjectId{1}), 3u);
+}
+
+TEST(GreedyScheduler, AbsorbKeepsTimestampOrder) {
+  GreedyScheduler old_owner(zoo_config("greedy"));
+  old_owner.on_conflict(conflict_from(1, 3000000, sim_ms(5)));
+  old_owner.on_conflict(conflict_from(2, 1000000, sim_ms(5)));
+  GreedyScheduler new_owner(zoo_config("greedy"));
+  new_owner.on_conflict(conflict_from(3, 2000000, sim_ms(5)));
+  new_owner.absorb_queue(ObjectId{1}, old_owner.extract_queue(ObjectId{1}));
+  // Served oldest-first across both origins: 2 (t=1ms), 3 (t=2ms), 1 (t=3ms).
+  EXPECT_EQ(new_owner.on_object_available(ObjectId{1})[0].txid, TxnId{2});
+  EXPECT_EQ(new_owner.on_object_available(ObjectId{1})[0].txid, TxnId{3});
+  EXPECT_EQ(new_owner.on_object_available(ObjectId{1})[0].txid, TxnId{1});
+}
+
+TEST(KarmaScheduler, UnderInvestedLosesWithRandomizedStallAndGainsKarma) {
+  auto cfg = zoo_config("karma");
+  KarmaScheduler karma(cfg);
+  // A heavy investor parks first.
+  ASSERT_EQ(karma.on_conflict(conflict_from(1, 1000000, sim_ms(20))).action,
+            ConflictAction::kEnqueue);
+  // A light newcomer loses: abort + stall, and its loss streak rises.
+  const auto d = karma.on_conflict(conflict_from(2, 5000000, sim_us(100)));
+  EXPECT_EQ(d.action, ConflictAction::kAbortWithStall);
+  EXPECT_GE(d.backoff, cfg.min_backoff);
+  EXPECT_LE(d.backoff, cfg.max_backoff);
+  EXPECT_EQ(karma.loss_streak(2, 5000000), 1u);
+  EXPECT_EQ(karma.queue_depth(ObjectId{1}), 1u);
+}
+
+TEST(KarmaScheduler, RepeatLoserEventuallyWins) {
+  auto cfg = zoo_config("karma");
+  KarmaScheduler karma(cfg);
+  ASSERT_EQ(karma.on_conflict(conflict_from(1, 1000000, sim_ms(50))).action,
+            ConflictAction::kEnqueue);
+  // The same light transaction keeps losing; each loss boosts its karma
+  // until it out-ranks the queue and parks.
+  int attempts = 0;
+  ConflictDecision d{};
+  do {
+    d = karma.on_conflict(conflict_from(2, 5000000, sim_us(100)));
+    ++attempts;
+    ASSERT_LT(attempts, 200) << "karma boost never overcame the queue";
+  } while (d.action == ConflictAction::kAbortWithStall);
+  EXPECT_EQ(d.action, ConflictAction::kEnqueue);
+  EXPECT_EQ(karma.loss_streak(2, 5000000), 0u);  // streak forgotten on win
+  EXPECT_EQ(karma.queue_depth(ObjectId{1}), 2u);
+}
+
+TEST(KarmaScheduler, BiggestInvestmentServedFirst) {
+  KarmaScheduler karma(zoo_config("karma"));
+  ASSERT_EQ(karma.on_conflict(conflict_from(1, 1000000, sim_ms(5))).action,
+            ConflictAction::kEnqueue);
+  ASSERT_EQ(karma.on_conflict(conflict_from(2, 2000000, sim_ms(30))).action,
+            ConflictAction::kEnqueue);
+  const auto group = karma.on_object_available(ObjectId{1});
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].txid, TxnId{2});  // 30ms invested beats 5ms
+}
+
+TEST(StealOnAbortScheduler, FifoAndCap) {
+  StealOnAbortScheduler steal(zoo_config("steal-on-abort", /*max_queue=*/2));
+  EXPECT_EQ(steal.on_conflict(conflict_from(1, 1000000, sim_us(10))).action,
+            ConflictAction::kEnqueue);
+  EXPECT_EQ(steal.on_conflict(conflict_from(2, 500000, sim_ms(50))).action,
+            ConflictAction::kEnqueue);
+  EXPECT_EQ(steal.on_conflict(conflict_from(3, 1, sim_ms(90))).action,
+            ConflictAction::kAbort);  // cap; age does not matter
+  // Strict arrival order, no reordering by age or investment.
+  EXPECT_EQ(steal.on_object_available(ObjectId{1})[0].txid, TxnId{1});
+  EXPECT_EQ(steal.on_object_available(ObjectId{1})[0].txid, TxnId{2});
+}
+
+TEST(StealOnAbortScheduler, StolenRequestersQueueBehindTheWinners) {
+  StealOnAbortScheduler loser(zoo_config("steal-on-abort"));
+  loser.on_conflict(conflict_from(1, 1000000, sim_ms(5)));
+  loser.on_conflict(conflict_from(2, 1000001, sim_ms(5)));
+  StealOnAbortScheduler winner(zoo_config("steal-on-abort"));
+  winner.on_conflict(conflict_from(3, 1000002, sim_ms(5)));
+  winner.absorb_queue(ObjectId{1}, loser.extract_queue(ObjectId{1}));
+  // The winner's own requester is served before the stolen ones.
+  EXPECT_EQ(winner.on_object_available(ObjectId{1})[0].txid, TxnId{3});
+  EXPECT_EQ(winner.on_object_available(ObjectId{1})[0].txid, TxnId{1});
+  EXPECT_EQ(winner.on_object_available(ObjectId{1})[0].txid, TxnId{2});
+}
+
+// --------------------------------------- policy-parameterized coverage ----
+//
+// Every registered policy — present and future — passes this block; it is
+// instantiated straight from the factory's name list, so adding a row to
+// the registry automatically adds coverage (the deep queue-protocol
+// invariants live in tests/scheduler_conformance_test.cpp).
+
+class SchedulerPolicyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  SchedulerConfig config() const {
+    SchedulerConfig cfg;
+    cfg.kind = GetParam();
+    cfg.cl_threshold = 8;
+    cfg.max_queue = 8;
+    cfg.handoff_slack = sim_ms(1);
+    return cfg;
+  }
+  std::unique_ptr<Scheduler> make() const { return make_scheduler(config()); }
+};
+
+TEST_P(SchedulerPolicyTest, FactoryRoundTrip) {
+  auto s = make();
+  ASSERT_NE(s, nullptr);
+  EXPECT_STRNE(s->name(), "");
+}
+
+TEST_P(SchedulerPolicyTest, DecisionIsWellFormedAndQueueConsistent) {
+  auto s = make();
+  const auto d = s->on_conflict(conflict_from(1, 1000000, sim_ms(20)));
+  EXPECT_GE(d.backoff, 0);
+  if (d.action == ConflictAction::kEnqueue) {
+    EXPECT_EQ(s->queue_depth(ObjectId{1}), 1u);
+    EXPECT_EQ(s->total_queued(), 1u);
+  } else {
+    EXPECT_EQ(s->queue_depth(ObjectId{1}), 0u);
+    EXPECT_EQ(s->total_queued(), 0u);
+  }
+}
+
+TEST_P(SchedulerPolicyTest, ReRequestNeverDoubleQueues) {
+  auto s = make();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    s->on_conflict(conflict_from(1, 1000000, sim_ms(20) + sim_ms(10) * attempt));
+    EXPECT_LE(s->queue_depth(ObjectId{1}), 1u) << "attempt " << attempt;
+  }
+}
+
+TEST_P(SchedulerPolicyTest, ExtractAbsorbConservesRequesters) {
+  auto old_owner = make();
+  std::set<std::uint64_t> parked;
+  for (std::uint64_t txn = 1; txn <= 6; ++txn) {
+    const auto mode = txn % 3 == 0 ? net::AccessMode::kRead : net::AccessMode::kWrite;
+    if (old_owner->on_conflict(conflict_from(txn, 1000000 + txn * 1000, sim_ms(30), mode))
+            .action == ConflictAction::kEnqueue) {
+      parked.insert(txn);
+    }
+  }
+  ASSERT_EQ(old_owner->total_queued(), parked.size());
+
+  auto moved = old_owner->extract_queue(ObjectId{1});
+  EXPECT_EQ(old_owner->queue_depth(ObjectId{1}), 0u);
+  std::set<std::uint64_t> moved_txns;
+  for (const auto& r : moved) moved_txns.insert(r.txid.value);
+  EXPECT_EQ(moved_txns, parked);  // nothing lost, nothing invented
+
+  auto new_owner = make();
+  new_owner->absorb_queue(ObjectId{1}, std::move(moved));
+  EXPECT_EQ(new_owner->total_queued(), parked.size());
+
+  // Drain: every parked requester is served exactly once.
+  std::set<std::uint64_t> served;
+  while (new_owner->total_queued() > 0) {
+    const auto group = new_owner->on_object_available(ObjectId{1});
+    ASSERT_FALSE(group.empty()) << "queue non-empty but nothing served";
+    for (const auto& r : group) EXPECT_TRUE(served.insert(r.txid.value).second);
+  }
+  EXPECT_EQ(served, parked);
+}
+
+TEST_P(SchedulerPolicyTest, RemoveRequesterDropsExactlyThatEntry) {
+  auto s = make();
+  std::set<std::uint64_t> parked;
+  for (std::uint64_t txn = 1; txn <= 3; ++txn) {
+    if (s->on_conflict(conflict_from(txn, 1000000 + txn, sim_ms(30))).action ==
+        ConflictAction::kEnqueue) {
+      parked.insert(txn);
+    }
+  }
+  s->remove_requester(ObjectId{1}, TxnId{2});
+  parked.erase(2);
+  EXPECT_EQ(s->total_queued(), parked.size());
+  std::set<std::uint64_t> served;
+  while (s->total_queued() > 0) {
+    for (const auto& r : s->on_object_available(ObjectId{1})) served.insert(r.txid.value);
+  }
+  EXPECT_EQ(served, parked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, SchedulerPolicyTest, ::testing::ValuesIn(scheduler_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-' || c == '+') c = '_';
+                           return name;
+                         });
 
 // -------------------------------------------------- ThresholdController ----
 
